@@ -1,0 +1,121 @@
+// Command qgen generates parameterized query-graph workloads and
+// reports the metadata framework's cost of provisioning them — a
+// debugging and profiling aid for the scalability experiments.
+//
+// Usage:
+//
+//	qgen -shape chain -n 100 -subscribe 0.1
+//	qgen -shape tree -n 63
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/monitor"
+	"repro/internal/ops"
+	"repro/internal/stream"
+)
+
+var schema = stream.Schema{Name: "ints", Fields: []stream.Field{{Name: "v", Type: "int"}}}
+
+func main() {
+	shape := flag.String("shape", "chain", "graph shape: chain | tree | shared")
+	n := flag.Int("n", 50, "number of operators")
+	frac := flag.Float64("subscribe", 0.1, "fraction of operators with a selectivity consumer")
+	duration := flag.Int64("duration", 2000, "simulated run length")
+	flag.Parse()
+
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	var sources []*ops.Source
+	var operators []graph.Node
+
+	switch *shape {
+	case "chain":
+		src := ops.NewSource(g, "src", schema, 1, 50)
+		sources = append(sources, src)
+		prev := graph.Node(src)
+		for i := 0; i < *n; i++ {
+			f := ops.NewFilter(g, fmt.Sprintf("f%d", i), schema, func(stream.Tuple) bool { return true }, 50)
+			g.Connect(prev, f)
+			operators = append(operators, f)
+			prev = f
+		}
+		g.Connect(prev, ops.NewSink(g, "sink", schema, nil, 0, 0, 50))
+	case "tree":
+		// A left-deep tree of unions over n/2 sources.
+		leaves := *n/2 + 1
+		var prev graph.Node
+		for i := 0; i < leaves; i++ {
+			src := ops.NewSource(g, fmt.Sprintf("s%d", i), schema, 1, 50)
+			sources = append(sources, src)
+			if prev == nil {
+				prev = src
+				continue
+			}
+			u := ops.NewUnion(g, fmt.Sprintf("u%d", i), schema, 50)
+			g.Connect(prev, u)
+			g.Connect(src, u)
+			operators = append(operators, u)
+			prev = u
+		}
+		g.Connect(prev, ops.NewSink(g, "sink", schema, nil, 0, 0, 50))
+	case "shared":
+		// One shared filter chain feeding n sinks (subquery sharing).
+		src := ops.NewSource(g, "src", schema, 1, 50)
+		sources = append(sources, src)
+		f := ops.NewFilter(g, "shared", schema, func(stream.Tuple) bool { return true }, 50)
+		g.Connect(src, f)
+		operators = append(operators, f)
+		for i := 0; i < *n; i++ {
+			g.Connect(f, ops.NewSink(g, fmt.Sprintf("q%d", i), schema, nil, 0, float64(i), 50))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown shape %q\n", *shape)
+		os.Exit(2)
+	}
+
+	// Subscribe to the selectivity of every (1/frac)-th operator.
+	var subs []*core.Subscription
+	if *frac > 0 && len(operators) > 0 {
+		step := int(1 / *frac)
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(operators); i += step {
+			s, err := operators[i].Registry().Subscribe(ops.KindSelectivity)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			subs = append(subs, s)
+		}
+	}
+
+	e := engine.New(g, vc)
+	for i, src := range sources {
+		e.Bind(src, stream.NewConstantRate(clock.Time(i), 1, 0))
+	}
+	prof := monitor.NewProfiler(g.Env())
+	e.RunUntil(clock.Time(*duration))
+	p := prof.Stop()
+
+	fmt.Printf("shape=%s operators=%d sources=%d subscriptions=%d\n",
+		*shape, len(operators), len(sources), len(subs))
+	fmt.Printf("elements processed: %d\n", e.Processed())
+	fmt.Printf("metadata activity over %d time units:\n", p.Duration)
+	fmt.Printf("  handlers created:   %d\n", p.Window.HandlersCreated)
+	fmt.Printf("  periodic updates:   %d\n", p.Window.PeriodicUpdates)
+	fmt.Printf("  triggered updates:  %d\n", p.Window.TriggeredUpdates)
+	fmt.Printf("  on-demand computes: %d\n", p.Window.OnDemandComputes)
+	fmt.Printf("  updates per time unit: %.3f\n", p.UpdatesPerTimeUnit())
+	for _, s := range subs {
+		s.Unsubscribe()
+	}
+}

@@ -1,0 +1,78 @@
+// Adaptive demonstrates the two resource-management consumers of the
+// metadata framework working together on an overloaded join:
+//
+//   - the WindowAdaptor (Section 3.3, [9]) keeps the join's estimated
+//     memory usage under a bound by shrinking window sizes — every
+//     adjustment fires the window-change event and the cost model
+//     re-estimates instantly;
+//   - the LoadShedder ([21]) keeps the join's measured CPU usage under
+//     a capacity by raising a sampler's drop probability.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/pipes"
+)
+
+func main() {
+	sys := pipes.NewSystem(pipes.WithStatWindow(100))
+	schema := pipes.Schema{Name: "events", Fields: []pipes.Field{{Name: "v", Type: "int"}}}
+
+	// A fast stream through a shedding sampler, joined with a second
+	// fast stream over generous windows: both memory and CPU are
+	// overloaded at the preferred configuration.
+	src1 := sys.Source("src1", schema, pipes.NewConstantRate(0, 2, 0), 0.5)
+	src2 := sys.Source("src2", schema, pipes.NewConstantRate(1, 2, 0), 0.5)
+	shed := src1.Shed("shedder", 0, 7)
+	w1 := shed.Window("w1", 400)
+	w2 := src2.Window("w2", 400)
+	join := w1.Join(w2, "join", func(a, b pipes.Tuple) bool { return true })
+	join.Sink("out", nil)
+	sys.InstallCostModel()
+
+	const memBound = 4000.0 // bytes of estimated join state
+	const cpuCap = 8.0      // work units per time unit
+
+	adaptor, err := sys.NewWindowAdaptor(join, []*pipes.Stream{w1, w2}, memBound, 200)
+	check(err)
+	defer adaptor.Close()
+	shedder, err := sys.NewLoadShedder(join, pipes.KindMeasuredCPU, shed, cpuCap, 200)
+	check(err)
+	defer shedder.Close()
+
+	estMem, err := join.Subscribe(pipes.KindEstMem)
+	check(err)
+	defer estMem.Unsubscribe()
+	cpu, err := join.Subscribe(pipes.KindMeasuredCPU)
+	check(err)
+	defer cpu.Unsubscribe()
+
+	fmt.Printf("%8s %12s %12s %12s %10s\n", "t", "estMem", "measCPU", "windowScale", "dropP")
+	for t := pipes.Time(1000); t <= 10_000; t += 1000 {
+		sys.Run(t)
+		m, _ := estMem.Float()
+		c, _ := cpu.Float()
+		fmt.Printf("%8d %12.1f %12.2f %12.3f %10.3f\n",
+			t, m, c, adaptor.Scale(), shed.Node().(interface{ DropProbability() float64 }).DropProbability())
+	}
+
+	m, _ := estMem.Float()
+	c, _ := cpu.Float()
+	fmt.Printf("\nbounds: estMem %.0f <= %.0f ? %v    measCPU %.2f <= ~%.0f ? %v\n",
+		m, memBound, m <= memBound*1.05, c, cpuCap, c <= cpuCap*1.5)
+	fmt.Printf("window adjustments performed: %d, shedder steps: %d\n",
+		adaptor.Adjustments(), shedder.Steps())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// Scheduling demonstrates the paper's first motivating application:
+// the Chain strategy [5] consumes live selectivity metadata to
+// minimize inter-operator queue memory. A bursty source feeds two
+// branches — one highly selective, one pass-through — under a tight
+// service budget; Chain is compared against round-robin and FIFO.
+//
+// Run with:
+//
+//	go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+
+	"repro/pipes"
+)
+
+// runStrategy executes the two-branch plan under one scheduler and
+// returns the peak and final queue memory.
+func runStrategy(strategy string) (peak, final int64, processed int64) {
+	sys := pipes.NewSystem(
+		pipes.WithStatWindow(50),
+		pipes.WithScheduling(strategy, 2, 1),
+	)
+	schema := pipes.Schema{Name: "ints", Fields: []pipes.Field{{Name: "v", Type: "int"}}}
+
+	// Bursts: 1 element/unit for 300 units, then 300 units silence.
+	src := sys.Source("src", schema, pipes.NewBursty(0, 1, 300, 300, 0), 0)
+
+	// Branch A discards 90% at its first filter; branch B passes
+	// everything through two hops.
+	a1 := src.Filter("a1", func(t pipes.Tuple) bool { return t[0].(int)%10 == 0 })
+	a2 := a1.Filter("a2", func(pipes.Tuple) bool { return true })
+	a2.Sink("appA", nil)
+	b1 := src.Filter("b1", func(pipes.Tuple) bool { return true })
+	b2 := b1.Filter("b2", func(pipes.Tuple) bool { return true })
+	b2.Sink("appB", nil)
+
+	eng := sys.Engine()
+	for t := pipes.Time(1); t <= 1200; t++ {
+		sys.Run(t)
+		if b := eng.QueuedBytes(); b > peak {
+			peak = b
+		}
+	}
+	return peak, eng.QueuedBytes(), eng.Processed()
+}
+
+func main() {
+	fmt.Println("queue memory under a 2-services/unit budget, bursty arrivals:")
+	fmt.Printf("%12s %16s %16s %12s\n", "strategy", "peak bytes", "final bytes", "processed")
+	results := map[string]int64{}
+	for _, s := range []string{"roundrobin", "fifo", "chain"} {
+		peak, final, processed := runStrategy(s)
+		results[s] = peak
+		fmt.Printf("%12s %16d %16d %12d\n", s, peak, final, processed)
+	}
+	fmt.Printf("\nchain vs roundrobin peak: %.0f%%   chain vs fifo peak: %.0f%%\n",
+		100*float64(results["chain"])/float64(results["roundrobin"]),
+		100*float64(results["chain"])/float64(results["fifo"]))
+	fmt.Println("Chain reads each operator's selectivity item and spends its budget where servicing frees the most memory.")
+}

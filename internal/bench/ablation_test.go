@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+func TestA1TopologicalLinearNaiveExponential(t *testing.T) {
+	rows := RunA1([]int{2, 6, 10})
+	get := func(layers int, mode string) A1Row {
+		for _, r := range rows {
+			if r.Layers == layers && r.Mode == mode {
+				return r
+			}
+		}
+		t.Fatalf("missing row %d/%s", layers, mode)
+		return A1Row{}
+	}
+	// Topological: one refresh per affected item — the base, both
+	// sides of every inner layer, and the single subscribed top item:
+	// 1 + 2(L-1) + 1 = 2L.
+	for _, L := range []int{2, 6, 10} {
+		r := get(L, "topological")
+		if r.Refreshes != int64(2*L) {
+			t.Fatalf("topological refreshes at %d layers = %d, want %d", L, r.Refreshes, 2*L)
+		}
+		if !r.FinalCorrect {
+			t.Fatalf("topological final value wrong at %d layers", L)
+		}
+	}
+	// Naive: super-linear growth — at 10 layers it must exceed the
+	// topological count by far more than the layer ratio.
+	n10 := get(10, "naive").Refreshes
+	t10 := get(10, "topological").Refreshes
+	if n10 < 20*t10 {
+		t.Fatalf("naive refreshes %d vs topological %d: expected explosion", n10, t10)
+	}
+	// Naive grows faster than linearly between 6 and 10 layers.
+	n6 := get(6, "naive").Refreshes
+	if n10 < 4*n6 {
+		t.Fatalf("naive growth 6->10 layers: %d -> %d, want super-linear", n6, n10)
+	}
+	if A1Table(rows).String() == "" {
+		t.Fatal("empty table")
+	}
+}

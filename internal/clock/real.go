@@ -1,0 +1,82 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Real is a Clock backed by the wall clock. One abstract time unit is
+// one millisecond. Scheduled callbacks run on timer goroutines.
+type Real struct {
+	base time.Time
+	mu   sync.Mutex
+	// timers maps events to their runtime timers so Cancel can stop
+	// them.
+	timers map[*Event]*time.Timer
+}
+
+// NewReal returns a real-time clock whose time 0 is the moment of the
+// call.
+func NewReal() *Real {
+	return &Real{base: time.Now(), timers: make(map[*Event]*time.Timer)}
+}
+
+// Now implements Clock.
+func (r *Real) Now() Time {
+	return Time(time.Since(r.base) / time.Millisecond)
+}
+
+// Schedule implements Clock.
+func (r *Real) Schedule(t Time, fn func(Time)) *Event {
+	d := t - r.Now()
+	if d < 0 {
+		d = 0
+	}
+	return r.After(Duration(d), fn)
+}
+
+// After implements Clock.
+func (r *Real) After(d Duration, fn func(Time)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	e := &Event{when: r.Now().Add(d), fn: fn}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.timers[e] = time.AfterFunc(time.Duration(d)*time.Millisecond, func() {
+		r.mu.Lock()
+		delete(r.timers, e)
+		canceled := e.canceled
+		r.mu.Unlock()
+		if !canceled {
+			fn(r.Now())
+		}
+	})
+	return e
+}
+
+// Cancel stops a pending event. It reports whether the event had not
+// yet fired.
+func (r *Real) Cancel(e *Event) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[e]
+	if !ok || e.canceled {
+		return false
+	}
+	e.canceled = true
+	t.Stop()
+	delete(r.timers, e)
+	return true
+}
+
+// Stop cancels all pending events.
+func (r *Real) Stop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for e, t := range r.timers {
+		e.canceled = true
+		t.Stop()
+		delete(r.timers, e)
+	}
+}

@@ -1,0 +1,72 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealNowAdvances(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	a := r.Now()
+	time.Sleep(5 * time.Millisecond)
+	b := r.Now()
+	if b <= a {
+		t.Fatalf("real clock did not advance: %d -> %d", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	done := make(chan Time, 1)
+	r.After(1, func(now Time) { done <- now })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("After(1ms) did not fire within 2s")
+	}
+}
+
+func TestRealScheduleInPastFiresImmediately(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	done := make(chan struct{}, 1)
+	r.Schedule(-100, func(Time) { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Schedule(past) did not fire")
+	}
+}
+
+func TestRealCancel(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	var fired atomic.Bool
+	e := r.After(50, func(Time) { fired.Store(true) })
+	if !r.Cancel(e) {
+		t.Fatal("Cancel returned false for pending timer")
+	}
+	if r.Cancel(e) {
+		t.Fatal("second Cancel returned true")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestRealStopCancelsAll(t *testing.T) {
+	r := NewReal()
+	var fired atomic.Int32
+	for i := 0; i < 5; i++ {
+		r.After(50, func(Time) { fired.Add(1) })
+	}
+	r.Stop()
+	time.Sleep(80 * time.Millisecond)
+	if got := fired.Load(); got != 0 {
+		t.Fatalf("%d timers fired after Stop", got)
+	}
+}

@@ -1,0 +1,63 @@
+package clock
+
+import "sync"
+
+// Ticker fires a callback at a fixed period on any Clock. It is the
+// building block for periodic metadata updates.
+type Ticker struct {
+	clock  Clock
+	period Duration
+	fn     func(now Time)
+
+	mu      sync.Mutex
+	stopped bool
+	next    *Event
+}
+
+// NewTicker schedules fn every period units, first firing one period
+// from now. Stop the ticker to release it. period must be positive.
+func NewTicker(c Clock, period Duration, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("clock: ticker period must be positive")
+	}
+	t := &Ticker{clock: c, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	t.next = t.clock.After(t.period, t.tick)
+}
+
+func (t *Ticker) tick(now Time) {
+	t.mu.Lock()
+	stopped := t.stopped
+	t.mu.Unlock()
+	if stopped {
+		return
+	}
+	t.fn(now)
+	t.schedule()
+}
+
+// Stop cancels future ticks. It is idempotent.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.next != nil {
+		t.clock.Cancel(t.next)
+		t.next = nil
+	}
+}
+
+// Period returns the tick period.
+func (t *Ticker) Period() Duration { return t.period }

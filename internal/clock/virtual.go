@@ -1,0 +1,191 @@
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// Virtual is a deterministic simulated clock. Time only moves when the
+// owner calls Advance, AdvanceTo, or Run*; scheduled events fire in
+// timestamp order (ties broken by scheduling order) on the goroutine
+// that advances the clock.
+//
+// Virtual is safe for concurrent use, but events fire synchronously
+// during Advance, so callbacks must not call Advance themselves (they
+// may Schedule freely, including for the current instant).
+type Virtual struct {
+	mu        sync.Mutex
+	now       Time
+	seq       uint64
+	queue     eventQueue
+	advancing bool
+}
+
+// NewVirtual returns a virtual clock positioned at time 0.
+func NewVirtual() *Virtual { return &Virtual{} }
+
+// Now returns the current simulated time.
+func (v *Virtual) Now() Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Schedule implements Clock. Events scheduled for the past fire at the
+// next advancement.
+func (v *Virtual) Schedule(t Time, fn func(Time)) *Event {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e := &Event{when: t, seq: v.seq, fn: fn}
+	v.seq++
+	heap.Push(&v.queue, e)
+	return e
+}
+
+// After implements Clock.
+func (v *Virtual) After(d Duration, fn func(Time)) *Event {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e := &Event{when: v.now.Add(d), seq: v.seq, fn: fn}
+	v.seq++
+	heap.Push(&v.queue, e)
+	return e
+}
+
+// Cancel removes a pending event. It is a no-op if the event already
+// fired. It reports whether the event was still pending.
+func (v *Virtual) Cancel(e *Event) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Advance moves time forward by d, firing all events scheduled in
+// (now, now+d] in order. It panics if called re-entrantly from an event
+// callback.
+func (v *Virtual) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("clock: negative advance %d", d))
+	}
+	v.AdvanceTo(v.Now().Add(d))
+}
+
+// AdvanceTo moves time forward to t, firing all due events in order.
+// Advancing to the past is a no-op.
+func (v *Virtual) AdvanceTo(t Time) {
+	v.mu.Lock()
+	if v.advancing {
+		v.mu.Unlock()
+		panic("clock: re-entrant Advance from event callback")
+	}
+	v.advancing = true
+	for {
+		if len(v.queue) == 0 || v.queue[0].when > t {
+			break
+		}
+		e := heap.Pop(&v.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.when > v.now {
+			v.now = e.when
+		}
+		now := v.now
+		v.mu.Unlock()
+		e.fn(now)
+		v.mu.Lock()
+	}
+	if t > v.now {
+		v.now = t
+	}
+	v.advancing = false
+	v.mu.Unlock()
+}
+
+// RunUntilIdle fires every pending event regardless of its timestamp,
+// moving time to the last event fired. It returns the number of events
+// fired. Use it to drain a simulation to quiescence.
+func (v *Virtual) RunUntilIdle() int {
+	fired := 0
+	for {
+		v.mu.Lock()
+		if v.advancing {
+			v.mu.Unlock()
+			panic("clock: re-entrant RunUntilIdle from event callback")
+		}
+		if len(v.queue) == 0 {
+			v.mu.Unlock()
+			return fired
+		}
+		next := v.queue[0].when
+		v.mu.Unlock()
+		v.AdvanceTo(next)
+		fired++
+	}
+}
+
+// PendingEvents returns the number of events not yet fired or canceled.
+func (v *Virtual) PendingEvents() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, e := range v.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// NextEventTime returns the timestamp of the earliest pending event and
+// whether one exists.
+func (v *Virtual) NextEventTime() (Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.queue) > 0 && v.queue[0].canceled {
+		heap.Pop(&v.queue)
+	}
+	if len(v.queue) == 0 {
+		return 0, false
+	}
+	return v.queue[0].when, true
+}
+
+// eventQueue is a min-heap over (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// Definition declares a metadata item a node can provide: its
+// dependencies, the events that trigger it, the monitoring code it
+// needs, and how to build its handler. Definitions are registered via
+// Registry.Define, typically in the node's constructor (the paper's
+// addMetadata method); a subclass may re-Define an item to override an
+// inherited definition (Section 4.4.2).
+type Definition struct {
+	// Kind names the item within its registry.
+	Kind Kind
+
+	// Deps declares the item's static dependencies in the order the
+	// BuildContext exposes them.
+	Deps []DepRef
+
+	// Resolve, if set, overrides static dependency resolution
+	// (Section 4.4.3). It runs at inclusion time and returns the
+	// dependencies to use; it may consult the ResolveContext to
+	// prefer alternatives that are already included.
+	Resolve func(rc *ResolveContext) []DepRef
+
+	// Events lists registry-local event names (fired via
+	// Registry.FireEvent) that refresh the item's handler if it is
+	// triggerable.
+	Events []string
+
+	// Probe is the monitoring code the item requires in the node's
+	// processing path. It is activated when the handler is created
+	// and deactivated when the handler is removed.
+	Probe Probe
+
+	// Build constructs the handler. The BuildContext carries handles
+	// to the resolved dependencies in Deps order.
+	Build func(ctx *BuildContext) (Handler, error)
+}
+
+// ResolveContext lets a dynamic Resolve hook inspect the inclusion
+// state around the defining registry.
+type ResolveContext struct {
+	reg *Registry
+}
+
+// Registry returns the registry defining the item being resolved.
+func (rc *ResolveContext) Registry() *Registry { return rc.reg }
+
+// IsIncluded reports whether the item kind at the registries matched
+// by target currently has a handler (i.e. is already provided). With a
+// multi-registry selector it reports whether all matches are included.
+func (rc *ResolveContext) IsIncluded(target Selector, kind Kind) bool {
+	regs, err := rc.reg.resolveSelector(target)
+	if err != nil || len(regs) == 0 {
+		return false
+	}
+	for _, r := range regs {
+		r.mu.RLock()
+		_, ok := r.entries[kind]
+		r.mu.RUnlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildContext carries the resolved dependencies into Definition.Build.
+type BuildContext struct {
+	e      *entry
+	groups [][]*Handle
+	deps   []DepRef
+}
+
+// Kind returns the kind of the item being built.
+func (ctx *BuildContext) Kind() Kind { return ctx.e.kind }
+
+// Registry returns the registry owning the item.
+func (ctx *BuildContext) Registry() *Registry { return ctx.e.reg }
+
+// Clock returns the environment clock.
+func (ctx *BuildContext) Clock() clock.Clock { return ctx.e.reg.env.Clock() }
+
+// NumDeps returns the number of dependency groups (one per DepRef).
+func (ctx *BuildContext) NumDeps() int { return len(ctx.groups) }
+
+// Dep returns the single handle of dependency group i. It panics if
+// the group does not hold exactly one handle; use DepGroup for
+// EachInput-style selectors.
+func (ctx *BuildContext) Dep(i int) *Handle {
+	g := ctx.groups[i]
+	if len(g) != 1 {
+		panic(fmt.Sprintf("core: dependency %d (%s %s) has %d handles, want 1",
+			i, ctx.deps[i].Target, ctx.deps[i].Kind, len(g)))
+	}
+	return g[0]
+}
+
+// DepGroup returns all handles of dependency group i (possibly empty
+// for optional dependencies).
+func (ctx *BuildContext) DepGroup(i int) []*Handle { return ctx.groups[i] }
+
+// Handle is the read proxy for an included metadata item. Handles are
+// used both by consumers (wrapped in a Subscription) and by compute
+// closures reading their dependencies.
+type Handle struct {
+	e *entry
+}
+
+// Value returns the item's current value under its handler's update
+// discipline.
+func (h *Handle) Value() (Value, error) {
+	hd := h.e.getHandler()
+	if hd == nil {
+		return nil, ErrUnsubscribed
+	}
+	return hd.Value()
+}
+
+// Float returns the item's current value as float64.
+func (h *Handle) Float() (float64, error) {
+	v, err := h.Value()
+	if err != nil {
+		return 0, err
+	}
+	return Float(v)
+}
+
+// Kind returns the item's kind.
+func (h *Handle) Kind() Kind { return h.e.kind }
+
+// Registry returns the registry providing the item.
+func (h *Handle) Registry() *Registry { return h.e.reg }
+
+// Mechanism returns the update mechanism of the item's handler.
+func (h *Handle) Mechanism() Mechanism {
+	hd := h.e.getHandler()
+	if hd == nil {
+		return StaticMechanism
+	}
+	return hd.Mechanism()
+}
+
+// Subscription is a consumer's claim on a metadata item, returned by
+// Registry.Subscribe. Releasing it (Unsubscribe) decrements the item's
+// reference count and removes the handler — and recursively every
+// dependency included solely for it — when the count reaches zero.
+type Subscription struct {
+	h        *Handle
+	released bool
+}
+
+// Value returns the current metadata value.
+func (s *Subscription) Value() (Value, error) {
+	if s.released {
+		return nil, ErrUnsubscribed
+	}
+	return s.h.Value()
+}
+
+// Float returns the current metadata value as float64.
+func (s *Subscription) Float() (float64, error) {
+	if s.released {
+		return 0, ErrUnsubscribed
+	}
+	return s.h.Float()
+}
+
+// Handle exposes the underlying handle for compute closures.
+func (s *Subscription) Handle() *Handle {
+	return s.h
+}
+
+// Kind returns the subscribed item's kind.
+func (s *Subscription) Kind() Kind { return s.h.Kind() }
+
+// Mechanism returns the update mechanism of the item's handler.
+func (s *Subscription) Mechanism() Mechanism { return s.h.Mechanism() }
+
+// Unsubscribe releases the claim. It is idempotent.
+func (s *Subscription) Unsubscribe() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.h.e.reg.unsubscribe(s.h.e)
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+)
+
+// Env is the graph-wide context shared by all registries of one query
+// graph: the clock, the periodic updater, the framework self-metrics,
+// and the graph-level lock.
+//
+// Locking follows the three-level scheme of Section 4.2 adapted to Go:
+// the Env's structural mutex (graph level) serializes every structural
+// operation — subscription, unsubscription, definition, event firing
+// and trigger propagation; each Registry carries a node-level RWMutex
+// guarding its entry table; and each handler guards its value with a
+// metadata-level mutex. Go deliberately has no reentrant locks, so
+// instead of reentrancy the framework enforces a strict lock order
+// (graph -> node -> item) and never calls back into structural
+// operations while holding a node- or item-level lock.
+type Env struct {
+	clk     clock.Clock
+	updater Updater
+	stats   Stats
+
+	// structMu is the graph-level lock.
+	structMu sync.Mutex
+
+	// seq numbers entries in creation order for deterministic
+	// propagation.
+	seq atomic.Int64
+
+	// naivePropagation enables the ablation propagation mode.
+	naivePropagation bool
+}
+
+// EnvOption configures an Env.
+type EnvOption func(*Env)
+
+// WithUpdater selects the periodic-update executor (default: inline).
+func WithUpdater(u Updater) EnvOption {
+	return func(e *Env) { e.updater = u }
+}
+
+// WithNaivePropagation switches trigger propagation from topological
+// order to naive depth-first recursion. FOR ABLATION EXPERIMENTS ONLY:
+// naive propagation refreshes diamond-shaped dependents once per
+// incoming edge — exponentially often in layered DAGs — and may
+// compute them from half-updated inputs, which is exactly the
+// update-order problem Section 3.3 warns about.
+func WithNaivePropagation() EnvOption {
+	return func(e *Env) { e.naivePropagation = true }
+}
+
+// NewEnv returns an Env on the given clock.
+func NewEnv(clk clock.Clock, opts ...EnvOption) *Env {
+	e := &Env{clk: clk, updater: NewInlineUpdater()}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Clock returns the environment's clock.
+func (e *Env) Clock() clock.Clock { return e.clk }
+
+// Updater returns the periodic-update executor.
+func (e *Env) Updater() Updater { return e.updater }
+
+// Stats returns the framework self-metrics.
+func (e *Env) Stats() *Stats { return &e.stats }
+
+// Now returns the current time.
+func (e *Env) Now() clock.Time { return e.clk.Now() }
+
+// nextSeq returns the next entry creation sequence number.
+func (e *Env) nextSeq() int64 { return e.seq.Add(1) }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/clock"
+)
+
+// Handler maintains the value of one metadata item. There is a 1-to-1
+// relationship between in-use metadata items and handlers (Section
+// 2.1): the first subscription creates the handler, later ones share
+// it, and the last unsubscription removes it.
+//
+// A handler is a proxy between the item and its consumers: it
+// synchronizes concurrent access and guarantees a consistent view of
+// the value during updates.
+type Handler interface {
+	// Value returns the current metadata value under the handler's
+	// update discipline.
+	Value() (Value, error)
+	// Mechanism identifies the update mechanism.
+	Mechanism() Mechanism
+
+	// start binds the handler to its entry when the item is included.
+	start(e *entry) error
+	// stop releases handler resources when the item is excluded.
+	stop()
+}
+
+// triggerable is implemented by handlers that recompute when notified
+// of a dependency update or event (periodic handlers refresh on their
+// own schedule and are not triggerable).
+type triggerable interface {
+	// refresh recomputes and publishes the value.
+	refresh(now clock.Time) error
+}
+
+// --- Static ---
+
+// staticHandler serves an invariable value.
+type staticHandler struct {
+	v Value
+}
+
+// NewStatic returns a handler for static metadata such as schema
+// information or element sizes.
+func NewStatic(v Value) Handler { return &staticHandler{v: v} }
+
+func (h *staticHandler) Value() (Value, error) { return h.v, nil }
+func (h *staticHandler) Mechanism() Mechanism  { return StaticMechanism }
+func (h *staticHandler) start(*entry) error    { return nil }
+func (h *staticHandler) stop()                 {}
+
+// --- On-demand ---
+
+// ComputeFunc computes a metadata value at the given time.
+type ComputeFunc func(now clock.Time) (Value, error)
+
+// onDemandHandler recomputes the value on every access.
+type onDemandHandler struct {
+	compute ComputeFunc
+	mu      sync.Mutex
+	e       *entry
+}
+
+// NewOnDemand returns a handler that evaluates compute on each access.
+// Use it for items that are rarely accessed, cheap to compute, or
+// whose consumers need the exact value at access time (Section 3.2.1).
+func NewOnDemand(compute ComputeFunc) Handler {
+	return &onDemandHandler{compute: compute}
+}
+
+func (h *onDemandHandler) Value() (Value, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.e == nil {
+		return nil, ErrUnsubscribed
+	}
+	stats := h.e.reg.env.Stats()
+	stats.ComputeCalls.Add(1)
+	stats.OnDemandComputes.Add(1)
+	return h.compute(h.e.reg.env.Now())
+}
+
+func (h *onDemandHandler) Mechanism() Mechanism { return OnDemandMechanism }
+
+func (h *onDemandHandler) start(e *entry) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.e = e
+	return nil
+}
+
+func (h *onDemandHandler) stop() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.e = nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import "sort"
+
+// ItemRef identifies an included metadata item for introspection: the
+// registry it lives in, its kind, and its handler's mechanism.
+type ItemRef struct {
+	// RegistryID is the owning registry's identifier.
+	RegistryID string
+	// Kind is the item kind.
+	Kind Kind
+	// Mechanism is the handler's update mechanism.
+	Mechanism Mechanism
+}
+
+// Modules returns the names of the attached module registries, sorted.
+func (r *Registry) Modules() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.modules))
+	for name := range r.modules {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dependencies returns the items the included item kind currently
+// depends on (after dependency resolution), or ok=false if the item is
+// not included. The result reflects the live dependency graph — the
+// structure a monitoring tool renders as Figure 3.
+func (r *Registry) Dependencies(kind Kind) (deps []ItemRef, ok bool) {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	e, exists := r.entries[kind]
+	if !exists {
+		return nil, false
+	}
+	for _, g := range e.depGroups {
+		for _, de := range g {
+			deps = append(deps, itemRefLocked(de))
+		}
+	}
+	return deps, true
+}
+
+// Dependents returns the included items that currently depend on the
+// item kind, or ok=false if it is not included.
+func (r *Registry) Dependents(kind Kind) (deps []ItemRef, ok bool) {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	e, exists := r.entries[kind]
+	if !exists {
+		return nil, false
+	}
+	for d := range e.dependents {
+		deps = append(deps, itemRefLocked(d))
+	}
+	sort.Slice(deps, func(i, j int) bool {
+		if deps[i].RegistryID != deps[j].RegistryID {
+			return deps[i].RegistryID < deps[j].RegistryID
+		}
+		return deps[i].Kind < deps[j].Kind
+	})
+	return deps, true
+}
+
+// Ref returns the ItemRef of an included item.
+func (r *Registry) Ref(kind Kind) (ItemRef, bool) {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	e, exists := r.entries[kind]
+	if !exists {
+		return ItemRef{}, false
+	}
+	return itemRefLocked(e), true
+}
+
+// itemRefLocked builds an ItemRef; the graph-level lock must be held.
+func itemRefLocked(e *entry) ItemRef {
+	mech := StaticMechanism
+	if e.handler != nil {
+		mech = e.handler.Mechanism()
+	}
+	return ItemRef{RegistryID: e.reg.id, Kind: e.kind, Mechanism: mech}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/clock"
+)
+
+// WindowComputeFunc computes a periodic metadata value for the time
+// window [start, end). The initial value at subscription time is
+// computed with start == end; rate-like computations must handle the
+// zero-width window (typically by returning 0).
+type WindowComputeFunc func(start, end clock.Time) (Value, error)
+
+// periodicHandler publishes a new value at each window boundary and
+// serves the published value to every consumer in between. This is the
+// mechanism that guarantees the isolation condition of Section 3:
+// concurrent consumers never interfere with each other's measurements
+// (contrast Figure 4, where naive on-demand rate computations by two
+// consumers corrupt each other's counters).
+type periodicHandler struct {
+	window  clock.Duration
+	compute WindowComputeFunc
+
+	mu       sync.Mutex
+	e        *entry
+	val      Value
+	err      error
+	winStart clock.Time
+	ticker   *clock.Ticker
+	stopped  bool
+}
+
+// NewPeriodic returns a handler that recomputes its value every window
+// time units. Information gathered during a window (via probes) is
+// turned into the value published for the following window.
+func NewPeriodic(window clock.Duration, compute WindowComputeFunc) Handler {
+	if window <= 0 {
+		panic("core: periodic window must be positive")
+	}
+	return &periodicHandler{window: window, compute: compute}
+}
+
+func (h *periodicHandler) Value() (Value, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.e == nil {
+		return nil, ErrUnsubscribed
+	}
+	return h.val, h.err
+}
+
+func (h *periodicHandler) Mechanism() Mechanism { return PeriodicMechanism }
+
+// Window returns the handler's update period.
+func (h *periodicHandler) Window() clock.Duration { return h.window }
+
+func (h *periodicHandler) start(e *entry) error {
+	env := e.reg.env
+	now := env.Now()
+	h.mu.Lock()
+	h.e = e
+	h.winStart = now
+	env.Stats().ComputeCalls.Add(1)
+	h.val, h.err = h.compute(now, now)
+	h.mu.Unlock()
+	// The ticker fires on the clock goroutine; the actual update runs
+	// on the env's updater (a worker pool for large graphs, Section
+	// 4.3) and takes the graph-level lock so trigger propagation is
+	// serialized with structural changes.
+	h.ticker = clock.NewTicker(env.Clock(), h.window, func(now clock.Time) {
+		env.Updater().Submit(func() { h.tick(now) })
+	})
+	return nil
+}
+
+func (h *periodicHandler) tick(now clock.Time) {
+	h.mu.Lock()
+	if h.stopped || h.e == nil {
+		h.mu.Unlock()
+		return
+	}
+	e := h.e
+	start := h.winStart
+	if now <= start {
+		// A worker pool may execute tick tasks out of order; a stale
+		// tick must not overwrite a newer published value.
+		h.mu.Unlock()
+		return
+	}
+	env := e.reg.env
+	stats := env.Stats()
+	stats.ComputeCalls.Add(1)
+	stats.PeriodicUpdates.Add(1)
+	// The computation runs under the handler's own (metadata-level)
+	// lock only, so independent periodic updates execute in parallel
+	// on the worker pool.
+	h.val, h.err = h.compute(start, now)
+	h.winStart = now
+	h.mu.Unlock()
+
+	// Publishing a periodic value notifies dependent triggered
+	// handlers along the inverted dependency graph. Propagation is a
+	// structural traversal and takes the graph-level lock — but only
+	// when the item actually has dependents.
+	if e.ndeps.Load() > 0 {
+		env.structMu.Lock()
+		e.reg.propagateLocked(e, now)
+		env.structMu.Unlock()
+	}
+}
+
+func (h *periodicHandler) stop() {
+	h.mu.Lock()
+	h.stopped = true
+	h.e = nil
+	t := h.ticker
+	h.ticker = nil
+	h.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+}

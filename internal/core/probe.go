@@ -1,0 +1,140 @@
+package core
+
+import "sync/atomic"
+
+// Probe is monitoring code a metadata item needs inside the node's
+// processing path (Section 4.4.1): for example, the input-rate item
+// needs the node to count incoming elements. Probes are activated when
+// the item's handler is created by addMetadata and deactivated when the
+// handler is removed, so inactive items impose (almost) no cost on the
+// element path.
+type Probe interface {
+	// Activate enables the probe. Activations nest: a probe shared by
+	// several items stays active until every activation is released.
+	Activate()
+	// Deactivate releases one activation.
+	Deactivate()
+}
+
+// Probes combines several probes into one.
+type Probes []Probe
+
+// Activate implements Probe.
+func (p Probes) Activate() {
+	for _, q := range p {
+		q.Activate()
+	}
+}
+
+// Deactivate implements Probe.
+func (p Probes) Deactivate() {
+	for _, q := range p {
+		q.Deactivate()
+	}
+}
+
+// Counter is an activation-gated event counter. The hot path calls Inc
+// (or Add); the metadata handler calls Take at each window boundary to
+// read and reset the count. All methods are safe for concurrent use.
+type Counter struct {
+	active atomic.Int32
+	n      atomic.Int64
+}
+
+// Activate implements Probe.
+func (c *Counter) Activate() { c.active.Add(1) }
+
+// Deactivate implements Probe. Deactivating resets the count once the
+// last activation is released so a later re-activation starts fresh.
+func (c *Counter) Deactivate() {
+	if c.active.Add(-1) == 0 {
+		c.n.Store(0)
+	}
+}
+
+// Active reports whether at least one activation is held.
+func (c *Counter) Active() bool { return c.active.Load() > 0 }
+
+// Inc counts one event if the probe is active.
+func (c *Counter) Inc() {
+	if c.Active() {
+		c.n.Add(1)
+	}
+}
+
+// Add counts delta events if the probe is active.
+func (c *Counter) Add(delta int64) {
+	if c.Active() {
+		c.n.Add(delta)
+	}
+}
+
+// Read returns the current count without resetting it.
+func (c *Counter) Read() int64 { return c.n.Load() }
+
+// Take returns the current count and resets it to zero.
+func (c *Counter) Take() int64 { return c.n.Swap(0) }
+
+// Gauge is an activation-gated instantaneous value (e.g. accumulated
+// simulated CPU cost). Unlike Counter it is set, not accumulated.
+type Gauge struct {
+	active atomic.Int32
+	v      atomic.Int64
+}
+
+// Activate implements Probe.
+func (g *Gauge) Activate() { g.active.Add(1) }
+
+// Deactivate implements Probe.
+func (g *Gauge) Deactivate() {
+	if g.active.Add(-1) == 0 {
+		g.v.Store(0)
+	}
+}
+
+// Active reports whether at least one activation is held.
+func (g *Gauge) Active() bool { return g.active.Load() > 0 }
+
+// Set stores v if the probe is active.
+func (g *Gauge) Set(v int64) {
+	if g.Active() {
+		g.v.Store(v)
+	}
+}
+
+// Add accumulates delta if the probe is active.
+func (g *Gauge) Add(delta int64) {
+	if g.Active() {
+		g.v.Add(delta)
+	}
+}
+
+// Read returns the current value.
+func (g *Gauge) Read() int64 { return g.v.Load() }
+
+// Take returns the current value and resets it to zero.
+func (g *Gauge) Take() int64 { return g.v.Swap(0) }
+
+// FuncProbe adapts a pair of functions to the Probe interface.
+type FuncProbe struct {
+	// OnActivate runs when the first activation is acquired.
+	OnActivate func()
+	// OnDeactivate runs when the last activation is released.
+	OnDeactivate func()
+
+	active atomic.Int32
+}
+
+// Activate implements Probe.
+func (p *FuncProbe) Activate() {
+	if p.active.Add(1) == 1 && p.OnActivate != nil {
+		p.OnActivate()
+	}
+}
+
+// Deactivate implements Probe.
+func (p *FuncProbe) Deactivate() {
+	if p.active.Add(-1) == 0 && p.OnDeactivate != nil {
+		p.OnDeactivate()
+	}
+}

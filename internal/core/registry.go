@@ -1,0 +1,641 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+)
+
+// Registry manages the metadata items of one query-graph node (or of
+// one exchangeable module inside a node, Section 4.5). It stores the
+// item definitions, and — for items currently in use — the entry
+// pairing each item with its unique handler and reference count.
+// Metadata items are stored directly at the graph nodes they describe
+// (Section 2.2), so each registry advertises exactly the items its
+// node can provide.
+type Registry struct {
+	env *Env
+	id  string
+
+	// inputs/outputs resolve the node's upstream and downstream
+	// registries for inter-node dependencies. They are set by the
+	// graph layer and read at inclusion time.
+	inputs  func() []*Registry
+	outputs func() []*Registry
+	parent  *Registry
+
+	mu      sync.RWMutex
+	defs    map[Kind]*Definition
+	entries map[Kind]*entry
+	modules map[string]*Registry
+	events  map[string]map[*entry]bool
+}
+
+// entry pairs an in-use metadata item with its handler (1-to-1,
+// Section 2.1). All structural fields are guarded by the env's
+// graph-level lock; handler and removed are additionally guarded by
+// the registry's node-level lock for lock-free reads on the value
+// path.
+type entry struct {
+	reg     *Registry
+	kind    Kind
+	def     *Definition
+	seq     int64
+	handler Handler
+	removed bool
+
+	refs       int
+	depGroups  [][]*entry
+	dependents map[*entry]int
+	events     []string
+
+	// ndeps mirrors len(dependents) so periodic handlers can skip the
+	// graph-level lock entirely when nothing depends on them — the
+	// key to parallel periodic updates on the worker pool (Section
+	// 4.3: only the locks involved in the currently included items
+	// are used).
+	ndeps atomic.Int32
+}
+
+// getHandler returns the entry's handler, or nil once removed.
+func (e *entry) getHandler() Handler {
+	e.reg.mu.RLock()
+	defer e.reg.mu.RUnlock()
+	if e.removed {
+		return nil
+	}
+	return e.handler
+}
+
+// NewRegistry creates a registry bound to this environment. The id
+// appears in error messages and must be unique within the graph.
+func (env *Env) NewRegistry(id string) *Registry {
+	return &Registry{
+		env:     env,
+		id:      id,
+		defs:    make(map[Kind]*Definition),
+		entries: make(map[Kind]*entry),
+		modules: make(map[string]*Registry),
+		events:  make(map[string]map[*entry]bool),
+	}
+}
+
+// ID returns the registry's identifier.
+func (r *Registry) ID() string { return r.id }
+
+// Env returns the registry's environment.
+func (r *Registry) Env() *Env { return r.env }
+
+// SetNeighbors installs the resolver functions for upstream and
+// downstream registries. The graph layer calls this when nodes are
+// wired; either function may be nil for none.
+func (r *Registry) SetNeighbors(inputs, outputs func() []*Registry) {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	r.inputs = inputs
+	r.outputs = outputs
+}
+
+// AttachModule registers the registry of an exchangeable module under
+// the given name (Section 4.5). Metadata items of the node can then
+// depend on the module's items via the Module selector, recursively.
+func (r *Registry) AttachModule(name string, m *Registry) {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	m.parent = r
+	r.mu.Lock()
+	r.modules[name] = m
+	r.mu.Unlock()
+}
+
+// DetachModule removes a module registry. Items of the module must not
+// be in use.
+func (r *Registry) DetachModule(name string) error {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	r.mu.RLock()
+	m := r.modules[name]
+	r.mu.RUnlock()
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	inUse := len(m.entries)
+	m.mu.RUnlock()
+	if inUse > 0 {
+		return fmt.Errorf("%w: module %q of %s has %d included items",
+			ErrItemInUse, name, r.id, inUse)
+	}
+	r.mu.Lock()
+	delete(r.modules, name)
+	r.mu.Unlock()
+	m.parent = nil
+	return nil
+}
+
+// ModuleRegistry returns the registry of the named module, or nil.
+func (r *Registry) ModuleRegistry(name string) *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.modules[name]
+}
+
+// Define registers (or overrides) the definition of a metadata item.
+// Overriding implements metadata inheritance (Section 4.4.2): a
+// specialized node re-Defines an inherited item, e.g. to reflect
+// additional data structures in its memory usage. An item currently in
+// use cannot be redefined.
+func (r *Registry) Define(def *Definition) error {
+	if def.Kind == "" {
+		return fmt.Errorf("core: definition without kind on %s", r.id)
+	}
+	if def.Build == nil {
+		return fmt.Errorf("core: definition of %s/%s without Build", r.id, def.Kind)
+	}
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[def.Kind]; ok {
+		return fmt.Errorf("%w: %s/%s", ErrItemInUse, r.id, def.Kind)
+	}
+	r.defs[def.Kind] = def
+	return nil
+}
+
+// MustDefine is Define but panics on error; for node constructors.
+func (r *Registry) MustDefine(def *Definition) {
+	if err := r.Define(def); err != nil {
+		panic(err)
+	}
+}
+
+// Available returns the kinds of all defined items, sorted. This is
+// the metadata discovery surface of Section 2.2: each node gives
+// information about its available metadata items.
+func (r *Registry) Available() []Kind {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Kind, 0, len(r.defs))
+	for k := range r.defs {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Included returns the kinds of items currently provided (in use),
+// sorted.
+func (r *Registry) Included() []Kind {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Kind, 0, len(r.entries))
+	for k := range r.entries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsDefined reports whether the item kind has a definition.
+func (r *Registry) IsDefined(kind Kind) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.defs[kind]
+	return ok
+}
+
+// IsIncluded reports whether the item currently has a handler.
+func (r *Registry) IsIncluded(kind Kind) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entries[kind]
+	return ok
+}
+
+// Refs returns the current reference count of the item (0 if not
+// included). Intended for tests and monitoring.
+func (r *Registry) Refs(kind Kind) int {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	e, ok := r.entries[kind]
+	if !ok {
+		return 0
+	}
+	return e.refs
+}
+
+// Mechanism returns the update mechanism of an included item's handler.
+func (r *Registry) Mechanism(kind Kind) (Mechanism, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[kind]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	h := e.getHandler()
+	if h == nil {
+		return 0, false
+	}
+	return h.Mechanism(), true
+}
+
+// Subscribe obtains a Subscription on the item, creating its handler —
+// and, by depth-first traversal of the dependency graph, the handlers
+// of every transitively required item — if it is not yet provided
+// (Section 2.4). Dependent items already provided are shared.
+func (r *Registry) Subscribe(kind Kind) (*Subscription, error) {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	e, err := r.includeLocked(kind, make(map[*Registry]map[Kind]bool))
+	if err != nil {
+		return nil, err
+	}
+	return &Subscription{h: &Handle{e: e}}, nil
+}
+
+// resolveSelector maps a dependency selector to concrete registries.
+func (r *Registry) resolveSelector(s Selector) ([]*Registry, error) {
+	get := func(f func() []*Registry) []*Registry {
+		if f == nil {
+			return nil
+		}
+		return f()
+	}
+	switch s.kind {
+	case selSelf:
+		return []*Registry{r}, nil
+	case selInput:
+		ins := get(r.inputs)
+		if s.index < 0 || s.index >= len(ins) {
+			return nil, nil
+		}
+		return []*Registry{ins[s.index]}, nil
+	case selEachInput:
+		return get(r.inputs), nil
+	case selOutput:
+		outs := get(r.outputs)
+		if s.index < 0 || s.index >= len(outs) {
+			return nil, nil
+		}
+		return []*Registry{outs[s.index]}, nil
+	case selEachOutput:
+		return get(r.outputs), nil
+	case selModule:
+		r.mu.RLock()
+		m := r.modules[s.name]
+		r.mu.RUnlock()
+		if m == nil {
+			return nil, nil
+		}
+		return []*Registry{m}, nil
+	case selParent:
+		if r.parent == nil {
+			return nil, nil
+		}
+		return []*Registry{r.parent}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown selector %v on %s", s, r.id)
+	}
+}
+
+// includeLocked performs one step of the depth-first inclusion
+// traversal. The env's graph-level lock must be held.
+func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool) (*entry, error) {
+	// The traversal stops at items already provided: sharing the
+	// existing handler saves redundant maintenance costs (Section 2.1).
+	if e, ok := r.entries[kind]; ok {
+		e.refs++
+		r.env.stats.SharedSubscriptions.Add(1)
+		return e, nil
+	}
+	if visiting[r] != nil && visiting[r][kind] {
+		return nil, fmt.Errorf("%w: via %s/%s", ErrCycle, r.id, kind)
+	}
+	r.mu.RLock()
+	def := r.defs[kind]
+	r.mu.RUnlock()
+	if def == nil {
+		return nil, fmt.Errorf("%w: %s/%s", ErrUnknownItem, r.id, kind)
+	}
+	if visiting[r] == nil {
+		visiting[r] = make(map[Kind]bool)
+	}
+	visiting[r][kind] = true
+	defer delete(visiting[r], kind)
+
+	r.env.stats.IncludeTraversals.Add(1)
+
+	deps := def.Deps
+	if def.Resolve != nil {
+		deps = def.Resolve(&ResolveContext{reg: r})
+	}
+
+	e := &entry{
+		reg:        r,
+		kind:       kind,
+		def:        def,
+		seq:        r.env.nextSeq(),
+		dependents: make(map[*entry]int),
+	}
+
+	// Include dependencies depth-first; roll back on any failure so a
+	// failed subscription leaves no residue.
+	var included []*entry
+	rollback := func() {
+		for i := len(included) - 1; i >= 0; i-- {
+			included[i].releaseLocked()
+		}
+	}
+	groups := make([][]*entry, len(deps))
+	for i, dr := range deps {
+		regs, err := r.resolveSelector(dr.Target)
+		if err != nil {
+			rollback()
+			return nil, err
+		}
+		if len(regs) == 0 && !dr.Optional {
+			rollback()
+			return nil, fmt.Errorf("%w: %s of %s/%s (dep %s)",
+				ErrBadSelector, dr.Target, r.id, kind, dr.Kind)
+		}
+		for _, tr := range regs {
+			de, err := tr.includeLocked(dr.Kind, visiting)
+			if err != nil {
+				rollback()
+				return nil, fmt.Errorf("including %s/%s: %w", r.id, kind, err)
+			}
+			included = append(included, de)
+			groups[i] = append(groups[i], de)
+		}
+	}
+	e.depGroups = groups
+
+	// Build the handler with handles on the resolved dependencies.
+	handleGroups := make([][]*Handle, len(groups))
+	for i, g := range groups {
+		for _, de := range g {
+			handleGroups[i] = append(handleGroups[i], &Handle{e: de})
+		}
+	}
+	handler, err := def.Build(&BuildContext{e: e, groups: handleGroups, deps: deps})
+	if err != nil {
+		rollback()
+		return nil, fmt.Errorf("building handler %s/%s: %w", r.id, kind, err)
+	}
+	if handler == nil {
+		rollback()
+		return nil, fmt.Errorf("core: Build of %s/%s returned nil handler", r.id, kind)
+	}
+
+	// Commit: register trigger edges, event registrations, probe, and
+	// the entry itself, then start the handler (which may pre-compute
+	// the value from the now-included dependencies).
+	for _, g := range groups {
+		for _, de := range g {
+			de.dependents[e]++
+			de.ndeps.Store(int32(len(de.dependents)))
+		}
+	}
+	e.events = def.Events
+	for _, name := range def.Events {
+		if r.events[name] == nil {
+			r.events[name] = make(map[*entry]bool)
+		}
+		r.events[name][e] = true
+	}
+	if def.Probe != nil {
+		def.Probe.Activate()
+	}
+	e.refs = 1
+	e.handler = handler
+	r.mu.Lock()
+	r.entries[kind] = e
+	r.mu.Unlock()
+	r.env.stats.HandlersCreated.Add(1)
+
+	if err := handler.start(e); err != nil {
+		e.releaseLocked()
+		return nil, fmt.Errorf("starting handler %s/%s: %w", r.id, kind, err)
+	}
+	return e, nil
+}
+
+// unsubscribe releases one reference from a consumer Subscription.
+func (r *Registry) unsubscribe(e *entry) {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	e.releaseLocked()
+}
+
+// releaseLocked decrements the reference count and removes the handler
+// — deactivating monitoring code and recursively excluding
+// dependencies — when it reaches zero (the removeMetadata operation of
+// Section 4.4.1). The env's graph-level lock must be held.
+func (e *entry) releaseLocked() {
+	e.refs--
+	if e.refs > 0 {
+		return
+	}
+	r := e.reg
+	r.mu.Lock()
+	delete(r.entries, e.kind)
+	e.removed = true
+	r.mu.Unlock()
+
+	if e.handler != nil {
+		e.handler.stop()
+	}
+	if e.def.Probe != nil {
+		e.def.Probe.Deactivate()
+	}
+	for _, name := range e.events {
+		if set := r.events[name]; set != nil {
+			delete(set, e)
+			if len(set) == 0 {
+				delete(r.events, name)
+			}
+		}
+	}
+	for _, g := range e.depGroups {
+		for _, de := range g {
+			if de.dependents[e]--; de.dependents[e] <= 0 {
+				delete(de.dependents, e)
+			}
+			de.ndeps.Store(int32(len(de.dependents)))
+			de.releaseLocked()
+		}
+	}
+	r.env.stats.HandlersRemoved.Add(1)
+}
+
+// FireEvent refreshes every triggered handler registered for the named
+// event and propagates the updates along the inverted dependency graph
+// (Section 3.2.3: event notifications let developers fire triggers
+// manually, e.g. when an operator's state or a window size changes).
+func (r *Registry) FireEvent(name string) {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	r.env.stats.EventsFired.Add(1)
+	set := r.events[name]
+	if len(set) == 0 {
+		return
+	}
+	seeds := make([]*entry, 0, len(set))
+	for e := range set {
+		seeds = append(seeds, e)
+	}
+	r.env.refreshClosureLocked(seeds, r.env.Now())
+}
+
+// NotifyChanged announces that the value of an on-demand (or static)
+// item changed, so that dependent triggered handlers refresh. This is
+// the notification mechanism for items whose handlers do not publish
+// (Section 3.2.3). It is a no-op if the item is not included.
+func (r *Registry) NotifyChanged(kind Kind) {
+	r.env.structMu.Lock()
+	defer r.env.structMu.Unlock()
+	e, ok := r.entries[kind]
+	if !ok {
+		return
+	}
+	r.propagateLocked(e, r.env.Now())
+}
+
+// propagateLocked pushes an update of e to its transitive triggerable
+// dependents. The graph-level lock must be held.
+func (r *Registry) propagateLocked(e *entry, now clock.Time) {
+	seeds := make([]*entry, 0, len(e.dependents))
+	for d := range e.dependents {
+		seeds = append(seeds, d)
+	}
+	r.env.refreshClosureLocked(seeds, now)
+}
+
+// refreshClosureLocked refreshes the triggerable entries among seeds
+// and all their transitive triggerable dependents, in topological
+// order of the dependency graph, so every handler recomputes after all
+// of its updated dependencies (the update-order requirement of Section
+// 3.2.3). The graph-level lock must be held.
+func (env *Env) refreshClosureLocked(seeds []*entry, now clock.Time) {
+	if env.naivePropagation {
+		env.refreshNaiveLocked(seeds, now)
+		return
+	}
+	affected := make(map[*entry]bool)
+	var expand func(e *entry)
+	expand = func(e *entry) {
+		if affected[e] {
+			return
+		}
+		if _, ok := e.handler.(triggerable); !ok {
+			// Non-triggerable dependents absorb the notification:
+			// on-demand handlers recompute on access anyway, and
+			// periodic handlers follow their own schedule.
+			return
+		}
+		affected[e] = true
+		for d := range e.dependents {
+			expand(d)
+		}
+	}
+	for _, s := range seeds {
+		expand(s)
+	}
+	if len(affected) == 0 {
+		return
+	}
+
+	// Topological order among the affected entries (edges run from
+	// dependency to dependent). Ready entries are processed in
+	// creation order for determinism.
+	indeg := make(map[*entry]int, len(affected))
+	for e := range affected {
+		for _, g := range e.depGroups {
+			for _, de := range g {
+				if affected[de] {
+					indeg[e]++
+				}
+			}
+		}
+	}
+	ready := make([]*entry, 0, len(affected))
+	for e := range affected {
+		if indeg[e] == 0 {
+			ready = append(ready, e)
+		}
+	}
+	sortEntries(ready)
+	done := 0
+	for len(ready) > 0 {
+		e := ready[0]
+		ready = ready[1:]
+		done++
+		env.stats.TriggerNotifications.Add(1)
+		if t, ok := e.handler.(triggerable); ok {
+			// Errors are stored in the handler and surface at the
+			// consumer's next read.
+			_ = t.refresh(now)
+		}
+		next := make([]*entry, 0)
+		for d := range e.dependents {
+			if !affected[d] {
+				continue
+			}
+			// Each edge between e and d may be declared several
+			// times (multiple DepRefs); indeg counted each, so
+			// decrement per declared edge.
+			edges := 0
+			for _, g := range d.depGroups {
+				for _, de := range g {
+					if de == e {
+						edges++
+					}
+				}
+			}
+			indeg[d] -= edges
+			if indeg[d] == 0 {
+				next = append(next, d)
+			}
+		}
+		sortEntries(next)
+		ready = append(ready, next...)
+	}
+	if done != len(affected) {
+		// A cycle among triggered handlers would starve the queue;
+		// inclusion-time cycle detection should make this impossible.
+		panic(fmt.Sprintf("core: trigger propagation refreshed %d of %d entries (dependency cycle?)", done, len(affected)))
+	}
+}
+
+// sortEntries orders entries by creation sequence for deterministic
+// propagation.
+func sortEntries(es []*entry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].seq < es[j].seq })
+}
+
+// refreshNaiveLocked is the ablation propagation: plain depth-first
+// recursion along the inverted dependency graph without deduplication
+// or ordering. Diamond dependents refresh once per incoming edge and
+// may read half-updated inputs.
+func (env *Env) refreshNaiveLocked(seeds []*entry, now clock.Time) {
+	sorted := make([]*entry, len(seeds))
+	copy(sorted, seeds)
+	sortEntries(sorted)
+	for _, e := range sorted {
+		t, ok := e.handler.(triggerable)
+		if !ok {
+			continue
+		}
+		env.stats.TriggerNotifications.Add(1)
+		_ = t.refresh(now)
+		deps := make([]*entry, 0, len(e.dependents))
+		for d := range e.dependents {
+			deps = append(deps, d)
+		}
+		env.refreshNaiveLocked(deps, now)
+	}
+}

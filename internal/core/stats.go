@@ -1,0 +1,89 @@
+package core
+
+import "sync/atomic"
+
+// Stats are the framework's self-metrics. They power the scalability
+// experiments: every handler creation/removal, value computation,
+// periodic update, and trigger propagation is counted so the cost of
+// the metadata subsystem itself can be measured.
+type Stats struct {
+	// HandlersCreated counts first subscriptions that built a handler.
+	HandlersCreated atomic.Int64
+	// HandlersRemoved counts handlers removed after the last
+	// unsubscription.
+	HandlersRemoved atomic.Int64
+	// SharedSubscriptions counts subscriptions that reused an
+	// existing handler (Section 2.1's sharing).
+	SharedSubscriptions atomic.Int64
+	// ComputeCalls counts metadata value computations, across all
+	// mechanisms.
+	ComputeCalls atomic.Int64
+	// OnDemandComputes counts computations by on-demand handlers.
+	OnDemandComputes atomic.Int64
+	// PeriodicUpdates counts window-boundary updates by periodic
+	// handlers.
+	PeriodicUpdates atomic.Int64
+	// TriggeredUpdates counts recomputations by triggered handlers.
+	TriggeredUpdates atomic.Int64
+	// TriggerNotifications counts dependency-update notifications
+	// delivered along the inverted dependency graph.
+	TriggerNotifications atomic.Int64
+	// EventsFired counts developer-fired events (Section 3.2.3).
+	EventsFired atomic.Int64
+	// IncludeTraversals counts depth-first inclusion steps performed
+	// during subscriptions.
+	IncludeTraversals atomic.Int64
+}
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	HandlersCreated      int64
+	HandlersRemoved      int64
+	SharedSubscriptions  int64
+	ComputeCalls         int64
+	OnDemandComputes     int64
+	PeriodicUpdates      int64
+	TriggeredUpdates     int64
+	TriggerNotifications int64
+	EventsFired          int64
+	IncludeTraversals    int64
+}
+
+// Snapshot returns a copy of the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		HandlersCreated:      s.HandlersCreated.Load(),
+		HandlersRemoved:      s.HandlersRemoved.Load(),
+		SharedSubscriptions:  s.SharedSubscriptions.Load(),
+		ComputeCalls:         s.ComputeCalls.Load(),
+		OnDemandComputes:     s.OnDemandComputes.Load(),
+		PeriodicUpdates:      s.PeriodicUpdates.Load(),
+		TriggeredUpdates:     s.TriggeredUpdates.Load(),
+		TriggerNotifications: s.TriggerNotifications.Load(),
+		EventsFired:          s.EventsFired.Load(),
+		IncludeTraversals:    s.IncludeTraversals.Load(),
+	}
+}
+
+// Sub returns the per-counter difference s - t, for measuring a window
+// of activity between two snapshots.
+func (s Snapshot) Sub(t Snapshot) Snapshot {
+	return Snapshot{
+		HandlersCreated:      s.HandlersCreated - t.HandlersCreated,
+		HandlersRemoved:      s.HandlersRemoved - t.HandlersRemoved,
+		SharedSubscriptions:  s.SharedSubscriptions - t.SharedSubscriptions,
+		ComputeCalls:         s.ComputeCalls - t.ComputeCalls,
+		OnDemandComputes:     s.OnDemandComputes - t.OnDemandComputes,
+		PeriodicUpdates:      s.PeriodicUpdates - t.PeriodicUpdates,
+		TriggeredUpdates:     s.TriggeredUpdates - t.TriggeredUpdates,
+		TriggerNotifications: s.TriggerNotifications - t.TriggerNotifications,
+		EventsFired:          s.EventsFired - t.EventsFired,
+		IncludeTraversals:    s.IncludeTraversals - t.IncludeTraversals,
+	}
+}
+
+// UpdateWork returns the total number of maintenance operations in the
+// snapshot — the cost metric of the scalability experiments.
+func (s Snapshot) UpdateWork() int64 {
+	return s.PeriodicUpdates + s.TriggeredUpdates + s.OnDemandComputes
+}

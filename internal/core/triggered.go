@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/clock"
+)
+
+// triggeredHandler serves a pre-computed value that is refreshed only
+// when an underlying metadata item publishes a new value or a
+// registered event fires (Section 3.2.3). The value is pre-computed at
+// the first subscription; refreshes propagate recursively along the
+// inverted dependency graph in topological order, so a handler is
+// refreshed only after all of its updated dependencies.
+type triggeredHandler struct {
+	compute ComputeFunc
+
+	mu  sync.Mutex
+	e   *entry
+	val Value
+	err error
+}
+
+// NewTriggered returns a handler recomputed on dependency updates and
+// on the events listed in the item's Definition. compute typically
+// reads the item's dependency handles.
+func NewTriggered(compute ComputeFunc) Handler {
+	return &triggeredHandler{compute: compute}
+}
+
+func (h *triggeredHandler) Value() (Value, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.e == nil {
+		return nil, ErrUnsubscribed
+	}
+	return h.val, h.err
+}
+
+func (h *triggeredHandler) Mechanism() Mechanism { return TriggeredMechanism }
+
+func (h *triggeredHandler) start(e *entry) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.e = e
+	// Pre-compute the initial value (Section 3.2.3: "values of
+	// metadata items with triggered handlers are pre-computed on the
+	// first subscription"). Dependencies are already included at this
+	// point, so compute may read them.
+	e.reg.env.Stats().ComputeCalls.Add(1)
+	h.val, h.err = h.compute(e.reg.env.Now())
+	return nil
+}
+
+// refresh implements triggerable.
+func (h *triggeredHandler) refresh(now clock.Time) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.e == nil {
+		return ErrUnsubscribed
+	}
+	stats := h.e.reg.env.Stats()
+	stats.ComputeCalls.Add(1)
+	stats.TriggeredUpdates.Add(1)
+	h.val, h.err = h.compute(now)
+	return h.err
+}
+
+func (h *triggeredHandler) stop() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.e = nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import "sync"
+
+// Updater executes the periodic update tasks of the metadata framework
+// (Section 4.3). The inline updater runs tasks synchronously on the
+// clock goroutine, which keeps virtual-clock experiments fully
+// deterministic and "is sufficient for small query graphs". The pool
+// updater distributes tasks over a small pool of worker goroutines for
+// large graphs.
+type Updater interface {
+	// Submit schedules fn for execution.
+	Submit(fn func())
+	// WaitIdle blocks until every submitted task has completed.
+	WaitIdle()
+	// Stop shuts the updater down after draining pending tasks.
+	// Submitting after Stop is a no-op.
+	Stop()
+}
+
+// inlineUpdater runs tasks synchronously.
+type inlineUpdater struct{}
+
+// NewInlineUpdater returns an Updater executing each task immediately
+// on the submitting goroutine.
+func NewInlineUpdater() Updater { return inlineUpdater{} }
+
+func (inlineUpdater) Submit(fn func()) { fn() }
+func (inlineUpdater) WaitIdle()        {}
+func (inlineUpdater) Stop()            {}
+
+// poolUpdater distributes tasks over worker goroutines.
+type poolUpdater struct {
+	tasks   chan func()
+	pending sync.WaitGroup
+	workers sync.WaitGroup
+	mu      sync.Mutex
+	stopped bool
+}
+
+// NewPoolUpdater returns an Updater backed by k worker goroutines.
+func NewPoolUpdater(k int) Updater {
+	if k <= 0 {
+		panic("core: pool updater needs at least one worker")
+	}
+	u := &poolUpdater{tasks: make(chan func(), 4*k)}
+	u.workers.Add(k)
+	for i := 0; i < k; i++ {
+		go func() {
+			defer u.workers.Done()
+			for fn := range u.tasks {
+				fn()
+				u.pending.Done()
+			}
+		}()
+	}
+	return u
+}
+
+// Submit implements Updater.
+func (u *poolUpdater) Submit(fn func()) {
+	u.mu.Lock()
+	if u.stopped {
+		u.mu.Unlock()
+		return
+	}
+	u.pending.Add(1)
+	u.mu.Unlock()
+	u.tasks <- fn
+}
+
+// WaitIdle implements Updater.
+func (u *poolUpdater) WaitIdle() { u.pending.Wait() }
+
+// Stop implements Updater.
+func (u *poolUpdater) Stop() {
+	u.mu.Lock()
+	if u.stopped {
+		u.mu.Unlock()
+		return
+	}
+	u.stopped = true
+	u.mu.Unlock()
+	u.pending.Wait()
+	close(u.tasks)
+	u.workers.Wait()
+}

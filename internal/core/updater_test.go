@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestInlineUpdaterRunsSynchronously(t *testing.T) {
+	u := NewInlineUpdater()
+	ran := false
+	u.Submit(func() { ran = true })
+	if !ran {
+		t.Fatal("inline task did not run synchronously")
+	}
+	u.WaitIdle()
+	u.Stop()
+}
+
+func TestPoolUpdaterRunsAllTasks(t *testing.T) {
+	u := NewPoolUpdater(4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		u.Submit(func() { n.Add(1) })
+	}
+	u.WaitIdle()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+	u.Stop()
+}
+
+func TestPoolUpdaterParallelism(t *testing.T) {
+	u := NewPoolUpdater(4)
+	defer u.Stop()
+	arrived := make(chan struct{}, 4)
+	block := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		u.Submit(func() {
+			arrived <- struct{}{}
+			<-block
+		})
+	}
+	// Two tasks being inside their bodies at once proves >= 2 workers.
+	timeout := time.After(5 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-arrived:
+		case <-timeout:
+			t.Fatal("pool did not run two tasks concurrently")
+		}
+	}
+	close(block)
+	u.WaitIdle()
+}
+
+func TestPoolUpdaterSubmitAfterStopIsNoop(t *testing.T) {
+	u := NewPoolUpdater(2)
+	u.Stop()
+	u.Submit(func() { t.Error("task ran after Stop") })
+	u.Stop() // idempotent
+}
+
+func TestPoolUpdaterZeroWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPoolUpdater(0) did not panic")
+		}
+	}()
+	NewPoolUpdater(0)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Value is the value of a metadata item. Most runtime statistics are
+// float64; schema-like static metadata may be any type.
+type Value = any
+
+// Errors returned by the metadata framework.
+var (
+	// ErrUnknownItem reports a subscription to a metadata item the
+	// registry has no definition for.
+	ErrUnknownItem = errors.New("core: unknown metadata item")
+	// ErrCycle reports a cyclic metadata dependency discovered during
+	// the inclusion traversal.
+	ErrCycle = errors.New("core: cyclic metadata dependency")
+	// ErrItemInUse reports an attempt to redefine a metadata item
+	// whose handler currently exists.
+	ErrItemInUse = errors.New("core: metadata item is in use")
+	// ErrUnsubscribed reports a read through a released subscription.
+	ErrUnsubscribed = errors.New("core: subscription already released")
+	// ErrNoValue reports that a handler has no value yet.
+	ErrNoValue = errors.New("core: metadata value not available")
+	// ErrBadSelector reports a dependency selector that matched no
+	// registry (e.g. Input(2) on a unary operator).
+	ErrBadSelector = errors.New("core: dependency selector matched no registry")
+	// ErrNotNumeric reports a Float conversion of a non-numeric value.
+	ErrNotNumeric = errors.New("core: metadata value is not numeric")
+)
+
+// Float converts a numeric metadata value to float64.
+func Float(v Value) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case float32:
+		return float64(x), nil
+	case int:
+		return float64(x), nil
+	case int32:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	case uint:
+		return float64(x), nil
+	case uint64:
+		return float64(x), nil
+	case nil:
+		return 0, ErrNoValue
+	default:
+		return 0, fmt.Errorf("%w: %T", ErrNotNumeric, v)
+	}
+}
+
+// MustFloat is Float for values known to be numeric; it panics
+// otherwise. Intended for compute closures over trusted dependencies.
+func MustFloat(v Value) float64 {
+	f, err := Float(v)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFloatConversions(t *testing.T) {
+	cases := []struct {
+		in   Value
+		want float64
+	}{
+		{float64(1.5), 1.5},
+		{float32(2), 2},
+		{int(3), 3},
+		{int32(4), 4},
+		{int64(5), 5},
+		{uint(6), 6},
+		{uint64(7), 7},
+	}
+	for _, c := range cases {
+		got, err := Float(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("Float(%T %v) = %v, %v", c.in, c.in, got, err)
+		}
+	}
+}
+
+func TestFloatErrors(t *testing.T) {
+	if _, err := Float(nil); !errors.Is(err, ErrNoValue) {
+		t.Fatalf("Float(nil) err = %v, want ErrNoValue", err)
+	}
+	if _, err := Float("str"); !errors.Is(err, ErrNotNumeric) {
+		t.Fatalf("Float(string) err = %v, want ErrNotNumeric", err)
+	}
+}
+
+func TestMustFloatPanicsOnNonNumeric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFloat did not panic")
+		}
+	}()
+	MustFloat("nope")
+}
+
+func TestMustFloatOK(t *testing.T) {
+	if got := MustFloat(2.5); got != 2.5 {
+		t.Fatalf("MustFloat = %v", got)
+	}
+}
+
+func TestStatsSnapshotSub(t *testing.T) {
+	var s Stats
+	s.HandlersCreated.Add(5)
+	s.PeriodicUpdates.Add(3)
+	s.OnDemandComputes.Add(2)
+	s.TriggeredUpdates.Add(1)
+	a := s.Snapshot()
+	s.HandlersCreated.Add(1)
+	s.PeriodicUpdates.Add(4)
+	b := s.Snapshot()
+	d := b.Sub(a)
+	if d.HandlersCreated != 1 || d.PeriodicUpdates != 4 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if got := b.UpdateWork(); got != 3+4+2+1 {
+		t.Fatalf("UpdateWork = %d, want 10", got)
+	}
+}

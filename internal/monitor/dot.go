@@ -1,0 +1,66 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// DependencyDOT renders the live metadata dependency graph — every
+// included item across all nodes and their modules, with an edge from
+// each item to the items it depends on — in Graphviz DOT format. The
+// output is the Figure 3 picture for the running system: one cluster
+// per graph node, items labeled with their update mechanism.
+func DependencyDOT(g *graph.Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph metadata {\n")
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+
+	var regs []*core.Registry
+	var collect func(r *core.Registry)
+	collect = func(r *core.Registry) {
+		regs = append(regs, r)
+		for _, name := range r.Modules() {
+			collect(r.ModuleRegistry(name))
+		}
+	}
+	for _, n := range g.Nodes() {
+		collect(n.Registry())
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].ID() < regs[j].ID() })
+
+	id := func(ref core.ItemRef) string {
+		return fmt.Sprintf("%q", ref.RegistryID+"/"+string(ref.Kind))
+	}
+	var edges []string
+	for ci, r := range regs {
+		included := r.Included()
+		if len(included) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", ci)
+		fmt.Fprintf(&b, "    label=%q;\n", r.ID())
+		for _, kind := range included {
+			ref, ok := r.Ref(kind)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "    %s [label=\"%s\\n(%s)\"];\n", id(ref), kind, ref.Mechanism)
+			deps, _ := r.Dependencies(kind)
+			for _, d := range deps {
+				edges = append(edges, fmt.Sprintf("  %s -> %s;", id(ref), id(d)))
+			}
+		}
+		b.WriteString("  }\n")
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteString(e + "\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

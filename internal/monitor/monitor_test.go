@@ -1,0 +1,179 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/stream"
+)
+
+var intSchema = stream.Schema{Name: "ints", Fields: []stream.Field{{Name: "v", Type: "int"}}}
+
+func testSetup() (*core.Env, *clock.Virtual, *core.Registry) {
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc)
+	r := env.NewRegistry("n")
+	r.MustDefine(&core.Definition{
+		Kind: "clockValue",
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewOnDemand(func(now clock.Time) (core.Value, error) {
+				return float64(now), nil
+			}), nil
+		},
+	})
+	return env, vc, r
+}
+
+func TestRecorderSamplesPeriodically(t *testing.T) {
+	env, vc, r := testSetup()
+	rec := NewRecorder(env, 10)
+	defer rec.Close()
+	if err := rec.Track("cv", r, "clockValue"); err != nil {
+		t.Fatal(err)
+	}
+	vc.Advance(35)
+	s := rec.Series("cv")
+	if len(s.Samples) != 3 {
+		t.Fatalf("recorded %d samples, want 3", len(s.Samples))
+	}
+	if s.Samples[0].Value != 10 || s.Samples[2].Value != 30 {
+		t.Fatalf("samples = %v", s.Samples)
+	}
+	if s.Last().Value != 30 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+	if s.Mean() != 20 {
+		t.Fatalf("Mean = %v, want 20", s.Mean())
+	}
+	if s.Max() != 30 {
+		t.Fatalf("Max = %v, want 30", s.Max())
+	}
+}
+
+func TestRecorderTrackSubscribes(t *testing.T) {
+	env, _, r := testSetup()
+	rec := NewRecorder(env, 10)
+	rec.Track("cv", r, "clockValue")
+	if !r.IsIncluded("clockValue") {
+		t.Fatal("Track did not subscribe")
+	}
+	rec.Close()
+	if r.IsIncluded("clockValue") {
+		t.Fatal("Close did not unsubscribe")
+	}
+}
+
+func TestRecorderRejectsDuplicatesAndUnknown(t *testing.T) {
+	env, _, r := testSetup()
+	rec := NewRecorder(env, 10)
+	defer rec.Close()
+	if err := rec.Track("cv", r, "clockValue"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Track("cv", r, "clockValue"); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := rec.Track("x", r, "missing"); err == nil {
+		t.Fatal("unknown item accepted")
+	}
+	if got := rec.Names(); len(got) != 1 || got[0] != "cv" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	env, vc, r := testSetup()
+	rec := NewRecorder(env, 10)
+	defer rec.Close()
+	rec.Track("cv", r, "clockValue")
+	vc.Advance(20)
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "time,cv" || lines[1] != "10,10" {
+		t.Fatalf("CSV content wrong:\n%s", b.String())
+	}
+}
+
+func TestEmptySeriesStats(t *testing.T) {
+	s := &Series{Name: "e"}
+	if s.Mean() != 0 || s.Max() != 0 || s.Last().At != 0 {
+		t.Fatal("empty series stats should be zero")
+	}
+}
+
+func TestInventoryReportsIncludedItems(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	f := ops.NewFilter(g, "f", intSchema, func(stream.Tuple) bool { return true }, 0)
+	sub, _ := f.Registry().Subscribe(ops.KindInputRate)
+	defer sub.Unsubscribe()
+
+	inv := Inventory(g)
+	if len(inv) != 1 {
+		t.Fatalf("inventory over %d nodes, want 1", len(inv))
+	}
+	ni := inv[0]
+	if len(ni.Available) == 0 {
+		t.Fatal("no available items reported")
+	}
+	found := false
+	for _, k := range ni.Included {
+		if k == ops.KindInputRate {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("included items %v missing inputRate", ni.Included)
+	}
+	out := FormatInventory(inv)
+	if !strings.Contains(out, "inputRate") || !strings.Contains(out, "operator") {
+		t.Fatalf("formatted inventory missing content:\n%s", out)
+	}
+}
+
+func TestProfilerMeasuresUpdateWork(t *testing.T) {
+	env, vc, _ := testSetup()
+	r2 := env.NewRegistry("p")
+	r2.MustDefine(&core.Definition{
+		Kind: "tick",
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewPeriodic(10, func(a, b clock.Time) (core.Value, error) { return 1.0, nil }), nil
+		},
+	})
+	sub, _ := r2.Subscribe("tick")
+	defer sub.Unsubscribe()
+
+	p := NewProfiler(env)
+	vc.Advance(100)
+	prof := p.Stop()
+	if prof.Window.PeriodicUpdates != 10 {
+		t.Fatalf("PeriodicUpdates = %d, want 10", prof.Window.PeriodicUpdates)
+	}
+	if prof.Duration != 100 {
+		t.Fatalf("Duration = %d, want 100", prof.Duration)
+	}
+	if got := prof.UpdatesPerTimeUnit(); got != 0.1 {
+		t.Fatalf("UpdatesPerTimeUnit = %v, want 0.1", got)
+	}
+	p.Reset()
+	if got := p.Stop().Window.PeriodicUpdates; got != 0 {
+		t.Fatalf("after Reset: %d updates, want 0", got)
+	}
+}
+
+func TestOverheadProfileZeroDuration(t *testing.T) {
+	var p OverheadProfile
+	if p.UpdatesPerTimeUnit() != 0 {
+		t.Fatal("zero-duration profile should report 0")
+	}
+}

@@ -1,0 +1,85 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ItemSnapshot is the captured state of one included metadata item.
+type ItemSnapshot struct {
+	// Kind is the item kind.
+	Kind string `json:"kind"`
+	// Mechanism is the handler's update mechanism.
+	Mechanism string `json:"mechanism"`
+	// Value is the current value (numbers as float64, everything else
+	// stringified).
+	Value any `json:"value"`
+	// Error carries a failed read.
+	Error string `json:"error,omitempty"`
+	// Refs is the item's subscription count.
+	Refs int `json:"refs"`
+}
+
+// NodeSnapshot captures one registry (node or module).
+type NodeSnapshot struct {
+	// Registry is the registry identifier.
+	Registry string `json:"registry"`
+	// Type is the node type ("source", "operator", "sink", "module").
+	Type string `json:"type"`
+	// Items holds the included items in kind order.
+	Items []ItemSnapshot `json:"items"`
+}
+
+// Snapshot captures the complete metadata state of the graph: every
+// included item of every node and module with its current value — the
+// raw material of the paper's system-profiling application ("analysis
+// gives insight into system behavior", Section 1).
+func Snapshot(g *graph.Graph) []NodeSnapshot {
+	var out []NodeSnapshot
+	var capture func(r *core.Registry, typ string)
+	capture = func(r *core.Registry, typ string) {
+		ns := NodeSnapshot{Registry: r.ID(), Type: typ}
+		for _, kind := range r.Included() {
+			item := ItemSnapshot{Kind: string(kind), Refs: r.Refs(kind)}
+			if mech, ok := r.Mechanism(kind); ok {
+				item.Mechanism = mech.String()
+			}
+			sub, err := r.Subscribe(kind)
+			if err != nil {
+				item.Error = err.Error()
+			} else {
+				v, err := sub.Value()
+				if err != nil {
+					item.Error = err.Error()
+				} else {
+					switch v.(type) {
+					case float64, int, int64, bool, string, nil:
+						item.Value = v
+					default:
+						item.Value = fmt.Sprint(v)
+					}
+				}
+				sub.Unsubscribe()
+			}
+			ns.Items = append(ns.Items, item)
+		}
+		if len(ns.Items) > 0 {
+			out = append(out, ns)
+		}
+		for _, name := range r.Modules() {
+			capture(r.ModuleRegistry(name), "module")
+		}
+	}
+	for _, n := range g.Nodes() {
+		capture(n.Registry(), n.Type().String())
+	}
+	return out
+}
+
+// SnapshotJSON renders the snapshot as indented JSON.
+func SnapshotJSON(g *graph.Graph) ([]byte, error) {
+	return json.MarshalIndent(Snapshot(g), "", "  ")
+}

@@ -1,0 +1,98 @@
+package monitor
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/stream"
+)
+
+func TestSnapshotCapturesIncludedItems(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	f := ops.NewFilter(g, "f", intSchema, func(stream.Tuple) bool { return true }, 50)
+	sub, _ := f.Registry().Subscribe(ops.KindAvgInputRate)
+	defer sub.Unsubscribe()
+	implSub, _ := f.Registry().Subscribe(ops.KindImplType)
+	defer implSub.Unsubscribe()
+
+	snaps := Snapshot(g)
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1 (only the filter has items)", len(snaps))
+	}
+	ns := snaps[0]
+	if ns.Type != "operator" {
+		t.Fatalf("type = %s", ns.Type)
+	}
+	kinds := map[string]ItemSnapshot{}
+	for _, it := range ns.Items {
+		kinds[it.Kind] = it
+	}
+	// avgInputRate plus its auto-included dependency inputRate, plus
+	// implType.
+	if len(kinds) != 3 {
+		t.Fatalf("items = %v, want 3", kinds)
+	}
+	if kinds["avgInputRate"].Mechanism != "triggered" {
+		t.Fatalf("avgInputRate mechanism = %s", kinds["avgInputRate"].Mechanism)
+	}
+	if kinds["implType"].Value != "filter" {
+		t.Fatalf("implType value = %v", kinds["implType"].Value)
+	}
+	// Snapshot's temporary subscriptions must not change refcounts.
+	if got := f.Registry().Refs(ops.KindAvgInputRate); got != 1 {
+		t.Fatalf("Refs changed by snapshot: %d", got)
+	}
+}
+
+func TestSnapshotIncludesModules(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	j := ops.NewJoin(g, "join", intSchema, intSchema,
+		func(l, r stream.Tuple) bool { return true }, 0)
+	sub, _ := j.Registry().Subscribe(ops.KindMemUsage)
+	defer sub.Unsubscribe()
+	snaps := Snapshot(g)
+	var moduleSeen bool
+	for _, ns := range snaps {
+		if ns.Type == "module" {
+			moduleSeen = true
+		}
+	}
+	if !moduleSeen {
+		t.Fatal("module registries missing from snapshot")
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	f := ops.NewFilter(g, "f", intSchema, func(stream.Tuple) bool { return true }, 50)
+	sub, _ := f.Registry().Subscribe(ops.KindCountIn)
+	defer sub.Unsubscribe()
+	raw, err := SnapshotJSON(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "countIn") {
+		t.Fatalf("JSON missing item:\n%s", raw)
+	}
+	var decoded []NodeSnapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+}
+
+func TestSnapshotEmptyGraph(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	ops.NewSource(g, "s", intSchema, 0, 0)
+	if snaps := Snapshot(g); len(snaps) != 0 {
+		t.Fatalf("snapshot of idle graph = %v, want empty", snaps)
+	}
+}

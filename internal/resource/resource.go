@@ -1,0 +1,204 @@
+// Package resource implements the adaptive resource-management
+// consumers of the metadata framework: an adaptive window-size manager
+// (the approach of [9] sketched in Section 3.3, which adjusts window
+// sizes at runtime and relies on the triggered re-estimation of the
+// cost model) and a load shedder ([21], the paper's second motivating
+// application, driven by resource-usage metadata).
+package resource
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/ops"
+)
+
+// WindowAdaptor keeps a join's estimated memory usage under a bound by
+// scaling the sizes of the windows feeding it. Every adjustment fires
+// the window-change events that re-estimate the cost model (Section
+// 3.3), so the adaptor reads a fresh estimate in the same step.
+type WindowAdaptor struct {
+	windows   []*ops.TimeWindow
+	preferred []clock.Duration
+	bound     float64
+	est       *core.Subscription
+	ticker    *clock.Ticker
+
+	mu          sync.Mutex
+	adjustments int
+	scale       float64
+}
+
+// NewWindowAdaptor subscribes to the join's estimated memory usage and
+// adjusts the given windows every period so the estimate stays at or
+// below bound. Close releases the subscription.
+func NewWindowAdaptor(env *core.Env, joinReg *core.Registry, windows []*ops.TimeWindow, bound float64, period clock.Duration) (*WindowAdaptor, error) {
+	if bound <= 0 {
+		return nil, errors.New("resource: memory bound must be positive")
+	}
+	if len(windows) == 0 {
+		return nil, errors.New("resource: no windows to adapt")
+	}
+	est, err := joinReg.Subscribe(costmodel.KindEstMem)
+	if err != nil {
+		return nil, err
+	}
+	a := &WindowAdaptor{
+		windows: windows,
+		bound:   bound,
+		est:     est,
+		scale:   1,
+	}
+	for _, w := range windows {
+		a.preferred = append(a.preferred, w.Size())
+	}
+	a.ticker = clock.NewTicker(env.Clock(), period, func(clock.Time) { a.Adjust() })
+	return a, nil
+}
+
+// Adjust performs one control step: if the estimated memory exceeds
+// the bound, windows shrink proportionally; if there is headroom,
+// windows grow back toward their preferred sizes. It reports whether
+// any window size changed.
+func (a *WindowAdaptor) Adjust() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	est, err := a.est.Float()
+	if err != nil || est <= 0 {
+		return false
+	}
+	// The estimate is linear in the window sizes, so the corrective
+	// scale is simply bound/est relative to the current scale.
+	target := a.scale * a.bound / est
+	if target > 1 {
+		target = 1 // never exceed the preferred sizes
+	}
+	if target < 1e-3 {
+		target = 1e-3
+	}
+	if target == a.scale {
+		return false
+	}
+	a.scale = target
+	changed := false
+	for i, w := range a.windows {
+		size := clock.Duration(float64(a.preferred[i]) * a.scale)
+		if size < 1 {
+			size = 1
+		}
+		if size != w.Size() {
+			w.SetSize(size)
+			changed = true
+		}
+	}
+	if changed {
+		a.adjustments++
+	}
+	return changed
+}
+
+// Adjustments returns how many control steps changed a window size.
+func (a *WindowAdaptor) Adjustments() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.adjustments
+}
+
+// Scale returns the current window scale in (0, 1].
+func (a *WindowAdaptor) Scale() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.scale
+}
+
+// Close stops the adaptor and releases its metadata subscription.
+func (a *WindowAdaptor) Close() {
+	if a.ticker != nil {
+		a.ticker.Stop()
+	}
+	a.est.Unsubscribe()
+}
+
+// LoadShedder keeps a measured load metric (typically the measured CPU
+// usage of an expensive operator) at or below a capacity by adjusting
+// a sampler's drop probability — load shedding driven by runtime
+// resource metadata.
+type LoadShedder struct {
+	sampler  *ops.Sampler
+	load     *core.Subscription
+	capacity float64
+	gain     float64
+	ticker   *clock.Ticker
+
+	mu    sync.Mutex
+	steps int
+}
+
+// NewLoadShedder subscribes to the load item (kind) at the monitored
+// node's registry and runs one control step per period.
+func NewLoadShedder(env *core.Env, monitored *core.Registry, kind core.Kind, sampler *ops.Sampler, capacity float64, period clock.Duration) (*LoadShedder, error) {
+	if capacity <= 0 {
+		return nil, errors.New("resource: capacity must be positive")
+	}
+	load, err := monitored.Subscribe(kind)
+	if err != nil {
+		return nil, err
+	}
+	s := &LoadShedder{
+		sampler:  sampler,
+		load:     load,
+		capacity: capacity,
+		gain:     0.5,
+	}
+	s.ticker = clock.NewTicker(env.Clock(), period, func(clock.Time) { s.Step() })
+	return s, nil
+}
+
+// Step performs one control iteration. The controller is
+// multiplicative in the pass fraction (1 - dropP): since the shed load
+// scales with the fraction of elements passed, the fixed point of
+// pass' = pass * capacity/load is exactly load = capacity. The gain
+// damps the move toward that target so the controller stays stable
+// despite the measurement lag of the periodic load item.
+func (s *LoadShedder) Step() {
+	load, err := s.load.Float()
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.steps++
+	s.mu.Unlock()
+	pass := 1 - s.sampler.DropProbability()
+	var target float64
+	if load <= 0 {
+		target = 1 // no measurable load: stop shedding
+	} else {
+		target = pass * s.capacity / load
+	}
+	if target > 1 {
+		target = 1
+	}
+	if target < 0.01 {
+		target = 0.01
+	}
+	newPass := pass + s.gain*(target-pass)
+	s.sampler.SetDropProbability(1 - newPass)
+}
+
+// Steps returns how many control iterations have run.
+func (s *LoadShedder) Steps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
+}
+
+// Close stops the shedder and releases its metadata subscription.
+func (s *LoadShedder) Close() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+	s.load.Unsubscribe()
+}

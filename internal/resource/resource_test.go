@@ -1,0 +1,228 @@
+package resource
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/stream"
+)
+
+var intSchema = stream.Schema{Name: "ints", Fields: []stream.Field{{Name: "v", Type: "int"}}}
+
+type plan struct {
+	g          *graph.Graph
+	vc         *clock.Virtual
+	src1, src2 *ops.Source
+	w1, w2     *ops.TimeWindow
+	join       *ops.Join
+}
+
+func newPlan(rate float64, win clock.Duration) *plan {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	p := &plan{g: g, vc: vc}
+	p.src1 = ops.NewSource(g, "s1", intSchema, rate, 0)
+	p.src2 = ops.NewSource(g, "s2", intSchema, rate, 0)
+	p.w1 = ops.NewTimeWindow(g, "w1", intSchema, win, 0)
+	p.w2 = ops.NewTimeWindow(g, "w2", intSchema, win, 0)
+	p.join = ops.NewJoin(g, "join", intSchema, intSchema,
+		func(l, r stream.Tuple) bool { return true }, 0)
+	sink := ops.NewSink(g, "sink", p.join.Schema(), nil, 0, 0, 0)
+	g.Connect(p.src1, p.w1)
+	g.Connect(p.src2, p.w2)
+	g.Connect(p.w1, p.join)
+	g.Connect(p.w2, p.join)
+	g.Connect(p.join, sink)
+	costmodel.Install(g)
+	return p
+}
+
+func TestWindowAdaptorShrinksToBound(t *testing.T) {
+	p := newPlan(0.5, 100) // estMem = 2 * 0.5*100*32 = 3200
+	bound := 800.0
+	a, err := NewWindowAdaptor(p.g.Env(), p.join.Registry(), []*ops.TimeWindow{p.w1, p.w2}, bound, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	est, _ := p.join.Registry().Subscribe(costmodel.KindEstMem)
+	defer est.Unsubscribe()
+
+	before, _ := est.Float()
+	if before <= bound {
+		t.Fatalf("test setup: estMem %v should exceed bound %v", before, bound)
+	}
+	if !a.Adjust() {
+		t.Fatal("Adjust did not change windows")
+	}
+	after, _ := est.Float()
+	if after > bound*1.01 {
+		t.Fatalf("estMem %v still above bound %v after adjustment", after, bound)
+	}
+	if p.w1.Size() >= 100 {
+		t.Fatalf("window not shrunk: %d", p.w1.Size())
+	}
+	if a.Adjustments() != 1 {
+		t.Fatalf("Adjustments = %d, want 1", a.Adjustments())
+	}
+}
+
+func TestWindowAdaptorGrowsBackWithHeadroom(t *testing.T) {
+	p := newPlan(0.5, 100)
+	a, err := NewWindowAdaptor(p.g.Env(), p.join.Registry(), []*ops.TimeWindow{p.w1, p.w2}, 800, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Adjust()
+	shrunk := p.w1.Size()
+
+	// Capacity increase: raise the bound; windows grow back toward
+	// the preferred 100, never beyond.
+	a.bound = 1e9
+	a.Adjust()
+	if p.w1.Size() != 100 {
+		t.Fatalf("window = %d after headroom, want preferred 100 (was %d)", p.w1.Size(), shrunk)
+	}
+	if a.Scale() != 1 {
+		t.Fatalf("scale = %v, want 1", a.Scale())
+	}
+}
+
+func TestWindowAdaptorRunsOnTicker(t *testing.T) {
+	p := newPlan(0.5, 100)
+	a, err := NewWindowAdaptor(p.g.Env(), p.join.Registry(), []*ops.TimeWindow{p.w1, p.w2}, 800, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	p.vc.Advance(10)
+	if a.Adjustments() == 0 {
+		t.Fatal("ticker did not run an adjustment")
+	}
+}
+
+func TestWindowAdaptorValidation(t *testing.T) {
+	p := newPlan(0.5, 100)
+	if _, err := NewWindowAdaptor(p.g.Env(), p.join.Registry(), nil, 100, 10); err == nil {
+		t.Fatal("accepted empty window list")
+	}
+	if _, err := NewWindowAdaptor(p.g.Env(), p.join.Registry(), []*ops.TimeWindow{p.w1}, 0, 10); err == nil {
+		t.Fatal("accepted zero bound")
+	}
+}
+
+func TestWindowAdaptorCloseReleasesSubscription(t *testing.T) {
+	p := newPlan(0.5, 100)
+	a, _ := NewWindowAdaptor(p.g.Env(), p.join.Registry(), []*ops.TimeWindow{p.w1, p.w2}, 800, 10)
+	if !p.join.Registry().IsIncluded(costmodel.KindEstMem) {
+		t.Fatal("estMem not included")
+	}
+	a.Close()
+	if p.join.Registry().IsIncluded(costmodel.KindEstMem) {
+		t.Fatal("estMem still included after Close")
+	}
+}
+
+// TestLoadShedderBoundsMeasuredCPU runs an overloaded join behind a
+// sampler; the shedder must raise the drop probability until the
+// measured CPU usage falls to the capacity.
+func TestLoadShedderBoundsMeasuredCPU(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	src1 := ops.NewSource(g, "s1", intSchema, 0, 100)
+	src2 := ops.NewSource(g, "s2", intSchema, 0, 100)
+	sampler := ops.NewSampler(g, "shed", intSchema, 0, 7, 100)
+	w1 := ops.NewTimeWindow(g, "w1", intSchema, 200, 100)
+	w2 := ops.NewTimeWindow(g, "w2", intSchema, 200, 100)
+	join := ops.NewJoin(g, "join", intSchema, intSchema,
+		func(l, r stream.Tuple) bool { return true }, 100)
+	sink := ops.NewSink(g, "sink", join.Schema(), nil, 0, 0, 0)
+	g.Connect(src1, sampler)
+	g.Connect(sampler, w1)
+	g.Connect(src2, w2)
+	g.Connect(w1, join)
+	g.Connect(w2, join)
+	g.Connect(join, sink)
+
+	shed, err := NewLoadShedder(g.Env(), join.Registry(), ops.KindMeasuredCPU, sampler, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shed.Close()
+
+	e := engine.New(g, vc)
+	e.Bind(src1, stream.NewConstantRate(0, 2, 0))
+	e.Bind(src2, stream.NewConstantRate(1, 2, 0))
+
+	load, _ := join.Registry().Subscribe(ops.KindMeasuredCPU)
+	defer load.Unsubscribe()
+
+	e.RunUntil(1000)
+	unshed, _ := load.Float()
+
+	e.RunUntil(10000)
+	final, _ := load.Float()
+	if final > 5*1.5 {
+		t.Fatalf("measured CPU %v still far above capacity 5 (was %v before shedding settled)", final, unshed)
+	}
+	if sampler.DropProbability() <= 0 {
+		t.Fatal("shedder never raised the drop probability")
+	}
+	if shed.Steps() == 0 {
+		t.Fatal("no control steps ran")
+	}
+}
+
+func TestLoadShedderValidation(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	sampler := ops.NewSampler(g, "shed", intSchema, 0, 7, 100)
+	if _, err := NewLoadShedder(g.Env(), sampler.Registry(), ops.KindMeasuredCPU, sampler, 0, 10); err == nil {
+		t.Fatal("accepted zero capacity")
+	}
+	if _, err := NewLoadShedder(g.Env(), sampler.Registry(), "missing", sampler, 5, 10); err == nil {
+		t.Fatal("accepted unknown load item")
+	}
+}
+
+func TestLoadShedderStopsSheddingWhenLoadVanishes(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	sampler := ops.NewSampler(g, "shed", intSchema, 0.8, 7, 100)
+	// A load item we control directly.
+	load := 0.0
+	sampler.Registry().MustDefine(&core.Definition{
+		Kind: "load",
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewOnDemand(func(clock.Time) (core.Value, error) { return load, nil }), nil
+		},
+	})
+	shed, err := NewLoadShedder(g.Env(), sampler.Registry(), "load", sampler, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shed.Close()
+	// No measurable load: the drop probability decays toward zero.
+	for i := 0; i < 20; i++ {
+		shed.Step()
+	}
+	if p := sampler.DropProbability(); p > 0.01 {
+		t.Fatalf("dropP = %v after idle decay, want ~0", p)
+	}
+	// Extreme overload: the pass fraction is clamped above zero so the
+	// controller can recover.
+	load = 1e9
+	for i := 0; i < 20; i++ {
+		shed.Step()
+	}
+	if p := sampler.DropProbability(); p >= 1 {
+		t.Fatalf("dropP = %v, want < 1 (pass fraction clamped)", p)
+	}
+}

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/stream"
+)
+
+var intSchema = stream.Schema{Name: "ints", Fields: []stream.Field{{Name: "v", Type: "int"}}}
+
+func testFilters(sels []float64) (*graph.Graph, []graph.Node, *clock.Virtual) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	var nodes []graph.Node
+	for i, s := range sels {
+		s := s
+		f := ops.NewFilter(g, "f", intSchema, func(stream.Tuple) bool { return true }, 10)
+		_ = s
+		_ = i
+		nodes = append(nodes, f)
+	}
+	return g, nodes, vc
+}
+
+func q(n graph.Node, length int, head clock.Time) QueueInfo {
+	return QueueInfo{Node: n, Len: length, HeadArrival: head, Bytes: int64(length) * 32}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	_, nodes, _ := testFilters([]float64{1, 1, 1})
+	s := NewRoundRobin()
+	defer s.Close()
+	qs := []QueueInfo{q(nodes[0], 1, 0), q(nodes[1], 1, 0), q(nodes[2], 1, 0)}
+	seen := map[int]int{}
+	for i := 0; i < 6; i++ {
+		seen[s.Pick(qs)]++
+	}
+	if seen[0] != 2 || seen[1] != 2 || seen[2] != 2 {
+		t.Fatalf("round robin distribution = %v", seen)
+	}
+	if s.Pick(nil) != -1 {
+		t.Fatal("empty pick should be -1")
+	}
+	if s.Name() != "roundrobin" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestFIFOPicksOldestHead(t *testing.T) {
+	_, nodes, _ := testFilters([]float64{1, 1})
+	s := NewFIFO()
+	defer s.Close()
+	qs := []QueueInfo{q(nodes[0], 5, 100), q(nodes[1], 1, 20)}
+	if got := s.Pick(qs); got != 1 {
+		t.Fatalf("FIFO picked %d, want 1 (older head)", got)
+	}
+	if s.Pick(nil) != -1 {
+		t.Fatal("empty pick should be -1")
+	}
+	if s.Name() != "fifo" {
+		t.Fatal("name wrong")
+	}
+}
+
+// TestChainPrefersSelectiveOperator drives two filters so their
+// measured selectivities differ, then checks Chain services the more
+// selective one (steeper memory-reduction slope) first.
+func TestChainPrefersSelectiveOperator(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	drop := ops.NewFilter(g, "drop", intSchema, func(stream.Tuple) bool { return false }, 10)
+	keep := ops.NewFilter(g, "keep", intSchema, func(stream.Tuple) bool { return true }, 10)
+	// Both filters feed further operators, so their slopes follow
+	// their selectivities (outputs re-enter queues).
+	g.Connect(drop, ops.NewFilter(g, "d2", intSchema, func(stream.Tuple) bool { return true }, 10))
+	g.Connect(keep, ops.NewFilter(g, "k2", intSchema, func(stream.Tuple) bool { return true }, 10))
+
+	s := NewChain()
+	defer s.Close()
+
+	// Feed both filters so the periodic selectivity handlers measure
+	// 0.0 (drop) and 1.0 (keep). Chain's first Pick subscribes.
+	warm := []QueueInfo{q(drop, 1, 0), q(keep, 1, 0)}
+	s.Pick(warm)
+	for i := 0; i < 20; i++ {
+		el := stream.NewElement(stream.Tuple{i}, clock.Time(i))
+		drop.Process(el, 0)
+		keep.Process(el, 0)
+	}
+	vc.Advance(10) // publish one selectivity window
+
+	if got := s.Pick(warm); got != 0 {
+		t.Fatalf("Chain picked %d, want 0 (the dropping filter frees memory fastest)", got)
+	}
+	if s.Name() != "chain" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestChainSubscribesToSelectivityMetadata(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	f := ops.NewFilter(g, "f", intSchema, func(stream.Tuple) bool { return true }, 10)
+	g.Connect(f, ops.NewFilter(g, "f2", intSchema, func(stream.Tuple) bool { return true }, 10))
+	_ = vc
+	s := NewChain()
+	s.Pick([]QueueInfo{q(f, 1, 0)})
+	if !f.Registry().IsIncluded(ops.KindSelectivity) {
+		t.Fatal("Chain did not subscribe to the selectivity item")
+	}
+	s.Close()
+	if f.Registry().IsIncluded(ops.KindSelectivity) {
+		t.Fatal("Close did not release the subscription")
+	}
+}
+
+func TestChainTieBreaksByQueueLength(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	a := ops.NewFilter(g, "a", intSchema, func(stream.Tuple) bool { return true }, 10)
+	b := ops.NewFilter(g, "b", intSchema, func(stream.Tuple) bool { return true }, 10)
+	g.Connect(a, ops.NewFilter(g, "a2", intSchema, func(stream.Tuple) bool { return true }, 10))
+	g.Connect(b, ops.NewFilter(g, "b2", intSchema, func(stream.Tuple) bool { return true }, 10))
+	s := NewChain()
+	defer s.Close()
+	qs := []QueueInfo{q(a, 2, 0), q(b, 9, 0)}
+	if got := s.Pick(qs); got != 1 {
+		t.Fatalf("Chain picked %d, want 1 (longer queue at equal slope)", got)
+	}
+}
+
+func TestChainHandlesNodesWithoutSelectivity(t *testing.T) {
+	vc := clock.NewVirtual()
+	g := graph.New(core.NewEnv(vc))
+	_ = vc
+	// A bare node without standard metadata.
+	type bare struct{ *graph.Base }
+	n := &bare{g.NewBase("bare", graph.OperatorNode)}
+	g.Register(n)
+	s := NewChain()
+	defer s.Close()
+	if got := s.Pick([]QueueInfo{q(n, 1, 0)}); got != 0 {
+		t.Fatalf("Pick = %d, want 0", got)
+	}
+}

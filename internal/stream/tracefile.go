@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/clock"
+)
+
+// WriteCSV serializes the trace as CSV: a header row "time,<field>..."
+// followed by one row per arrival. Attribute values are rendered with
+// their schema types in mind when read back via ReadTraceCSV.
+func (t *Trace) WriteCSV(w io.Writer, schema Schema) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, schema.Arity()+1)
+	header = append(header, "time")
+	for _, f := range schema.Fields {
+		header = append(header, f.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, a := range t.Arrivals {
+		if len(a.Tuple) != schema.Arity() {
+			return fmt.Errorf("stream: arrival %d has %d attributes, schema has %d",
+				i, len(a.Tuple), schema.Arity())
+		}
+		row := make([]string, 0, schema.Arity()+1)
+		row = append(row, strconv.FormatInt(int64(a.At), 10))
+		for _, v := range a.Tuple {
+			row = append(row, fmt.Sprint(v))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTraceCSV parses a trace written by WriteCSV. Attribute values
+// are decoded according to the schema's field types: "int", "float"
+// (float64), anything else stays a string.
+func ReadTraceCSV(r io.Reader, schema Schema) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("stream: trace file has no header")
+	}
+	if len(rows[0]) != schema.Arity()+1 {
+		return nil, fmt.Errorf("stream: header has %d columns, schema wants %d",
+			len(rows[0]), schema.Arity()+1)
+	}
+	var t Trace
+	for i, row := range rows[1:] {
+		at, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: row %d: bad time %q: %w", i+1, row[0], err)
+		}
+		tuple := make(Tuple, 0, schema.Arity())
+		for j, f := range schema.Fields {
+			cell := row[j+1]
+			switch f.Type {
+			case "int":
+				v, err := strconv.Atoi(cell)
+				if err != nil {
+					return nil, fmt.Errorf("stream: row %d field %s: %w", i+1, f.Name, err)
+				}
+				tuple = append(tuple, v)
+			case "float":
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("stream: row %d field %s: %w", i+1, f.Name, err)
+				}
+				tuple = append(tuple, v)
+			default:
+				tuple = append(tuple, cell)
+			}
+		}
+		t.Arrivals = append(t.Arrivals, Arrival{At: clock.Time(at), Tuple: tuple})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

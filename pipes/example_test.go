@@ -1,0 +1,84 @@
+package pipes_test
+
+import (
+	"fmt"
+
+	"repro/pipes"
+)
+
+var sensorSchema = pipes.Schema{Name: "readings", Fields: []pipes.Field{
+	{Name: "sensor", Type: "int"},
+	{Name: "temp", Type: "int"},
+}}
+
+// Example builds a small continuous query and reads metadata on
+// demand.
+func Example() {
+	sys := pipes.NewSystem()
+	gen := pipes.NewConstantRate(0, 10, 0) // one reading every 10 units
+	gen.MakeTup = func(i int) pipes.Tuple { return pipes.Tuple{i % 4, 20 + (i%2)*15} }
+
+	readings := sys.Source("sensors", sensorSchema, gen, 0.1)
+	hot := readings.Filter("hot", func(t pipes.Tuple) bool { return t[1].(int) >= 30 })
+	alerts := 0
+	hot.Sink("alerts", func(pipes.Element) { alerts++ })
+
+	sel, _ := hot.Subscribe(pipes.KindSelectivity)
+	defer sel.Unsubscribe()
+
+	sys.Run(10_000)
+	v, _ := sel.Float()
+	fmt.Printf("alerts=%d selectivity=%.1f\n", alerts, v)
+	// Output: alerts=500 selectivity=0.5
+}
+
+// ExampleStream_Subscribe shows dependency auto-inclusion: subscribing
+// to the triggered running average implicitly includes the periodic
+// input rate it depends on.
+func ExampleStream_Subscribe() {
+	sys := pipes.NewSystem()
+	src := sys.Source("src", sensorSchema, pipes.NewConstantRate(0, 5, 0), 0.2)
+	f := src.Filter("f", func(pipes.Tuple) bool { return true })
+	f.Sink("out", nil)
+
+	avg, _ := f.Subscribe(pipes.KindAvgInputRate)
+	defer avg.Unsubscribe()
+
+	fmt.Println("inputRate included:", f.Metadata().IsIncluded(pipes.KindInputRate))
+	sys.Run(5000)
+	v, _ := avg.Float()
+	fmt.Printf("avg input rate ~%.1f\n", v)
+	avg.Unsubscribe()
+	fmt.Println("inputRate included after unsubscribe:", f.Metadata().IsIncluded(pipes.KindInputRate))
+	// Output:
+	// inputRate included: true
+	// avg input rate ~0.2
+	// inputRate included after unsubscribe: false
+}
+
+// ExampleSystem_InstallCostModel estimates a window join's CPU usage
+// before any element flows, from declared rates and window sizes, and
+// re-estimates instantly when a window is resized.
+func ExampleSystem_InstallCostModel() {
+	sys := pipes.NewSystem()
+	schema := pipes.Schema{Name: "s", Fields: []pipes.Field{{Name: "v", Type: "int"}}}
+	l := sys.Source("L", schema, nil, 0.1)
+	r := sys.Source("R", schema, nil, 0.1)
+	lw := l.Window("lw", 100)
+	rw := r.Window("rw", 100)
+	join := lw.Join(rw, "join", func(a, b pipes.Tuple) bool { return true })
+	join.Sink("out", nil)
+	sys.InstallCostModel()
+
+	est, _ := join.Subscribe(pipes.KindEstCPU)
+	defer est.Unsubscribe()
+	v, _ := est.Float()
+	fmt.Printf("estCPU=%.1f\n", v)
+
+	lw.SetWindowSize(50) // fires the window-change event
+	v, _ = est.Float()
+	fmt.Printf("estCPU after resize=%.1f\n", v)
+	// Output:
+	// estCPU=2.2
+	// estCPU after resize=1.7
+}
