@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bench"
@@ -426,6 +427,78 @@ func BenchmarkTriggerPropagation(b *testing.B) {
 		v++
 		r.FireEvent("changed")
 	}
+}
+
+// BenchmarkValueReadParallel measures concurrent metadata reads of one
+// shared periodic item from many goroutines (run with -cpu 1,4,8). The
+// read path is lock-free (atomic snapshot), so throughput should scale
+// with cores instead of serializing on a lock.
+func BenchmarkValueReadParallel(b *testing.B) {
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc)
+	r := env.NewRegistry("op")
+	r.MustDefine(&core.Definition{
+		Kind: "periodic",
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewPeriodic(10, func(a, c clock.Time) (core.Value, error) { return 1.0, nil }), nil
+		},
+	})
+	s, err := r.Subscribe("periodic")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Unsubscribe()
+	vc.Advance(100)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := s.Value(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkSubscribeChurnParallel measures subscribe/unsubscribe churn
+// over independent registries from many goroutines (run with
+// -cpu 1,4,8). Each registry is its own dependency-scope component, so
+// with per-scope structural locks the churn parallelizes; under a
+// global graph lock it serializes.
+func BenchmarkSubscribeChurnParallel(b *testing.B) {
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc)
+	const nregs = 64
+	regs := make([]*core.Registry, nregs)
+	for i := range regs {
+		r := env.NewRegistry("op" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+		r.MustDefine(&core.Definition{
+			Kind:  "base",
+			Build: func(*core.BuildContext) (core.Handler, error) { return core.NewStatic(1.0), nil },
+		})
+		r.MustDefine(&core.Definition{
+			Kind: "derived",
+			Deps: []core.DepRef{core.Dep(core.Self(), "base")},
+			Build: func(ctx *core.BuildContext) (core.Handler, error) {
+				h := ctx.Dep(0)
+				return core.NewTriggered(func(clock.Time) (core.Value, error) { return h.Float() }), nil
+			},
+		})
+		regs[i] = r
+	}
+	var next int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := regs[int(atomic.AddInt64(&next, 1))%nregs]
+		for pb.Next() {
+			s, err := r.Subscribe("derived")
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			s.Unsubscribe()
+		}
+	})
 }
 
 // BenchmarkJoinThroughput measures end-to-end elements/sec through a

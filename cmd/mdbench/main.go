@@ -86,11 +86,27 @@ var experiments = map[string]struct {
 	"a1": {"ablation: topological vs naive propagation", func() *bench.Table {
 		return bench.A1Table(bench.RunA1([]int{2, 4, 6, 8, 10, 12}))
 	}},
+	"c1": {"contention: parallel reads & churn across dependency scopes", func() *bench.Table {
+		if *workersFlag < 0 {
+			fmt.Fprintln(os.Stderr, "-workers must be >= 0 (0 runs the inline updater)")
+			os.Exit(2)
+		}
+		elapsed := func(fn func()) int64 {
+			start := time.Now()
+			fn()
+			return time.Since(start).Nanoseconds()
+		}
+		return bench.C1Table(bench.RunC1([]int{1, 2, 4, 8}, 64, 100000, *workersFlag, elapsed))
+	}},
 	"f2": {"Figure 2: metadata taxonomy, live", bench.RunF2},
 }
 
+// workersFlag sets the updater pool size for experiments that take one
+// (c1); 0 selects the inline updater.
+var workersFlag = flag.Int("workers", 2, "updater worker pool size for c1 (0 = inline)")
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e15, f2, all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e18, a1, c1, f2, all)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 

@@ -48,6 +48,14 @@ type Clock interface {
 	Cancel(e *Event) bool
 }
 
+// eventReuser is implemented by clocks that can recycle an already
+// fired event when rescheduling, so steady tickers do not allocate a
+// fresh Event per tick. Callers may only pass events they exclusively
+// own (no other handle to e survives).
+type eventReuser interface {
+	reuseAfter(e *Event, d Duration, fn func(now Time)) *Event
+}
+
 // Event is a handle to a scheduled callback.
 type Event struct {
 	when     Time

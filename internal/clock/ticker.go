@@ -8,6 +8,12 @@ type Ticker struct {
 	clock  Clock
 	period Duration
 	fn     func(now Time)
+	// tickFn is the t.tick method value, bound once so rescheduling
+	// does not allocate a fresh closure on every tick.
+	tickFn func(now Time)
+	// reuser is non-nil when the clock can recycle the ticker's fired
+	// event, sparing the per-tick Event allocation as well.
+	reuser eventReuser
 
 	mu      sync.Mutex
 	stopped bool
@@ -21,6 +27,8 @@ func NewTicker(c Clock, period Duration, fn func(now Time)) *Ticker {
 		panic("clock: ticker period must be positive")
 	}
 	t := &Ticker{clock: c, period: period, fn: fn}
+	t.tickFn = t.tick
+	t.reuser, _ = c.(eventReuser)
 	t.schedule()
 	return t
 }
@@ -31,7 +39,11 @@ func (t *Ticker) schedule() {
 	if t.stopped {
 		return
 	}
-	t.next = t.clock.After(t.period, t.tick)
+	if t.reuser != nil {
+		t.next = t.reuser.reuseAfter(t.next, t.period, t.tickFn)
+	} else {
+		t.next = t.clock.After(t.period, t.tickFn)
+	}
 }
 
 func (t *Ticker) tick(now Time) {

@@ -53,6 +53,24 @@ func (v *Virtual) After(d Duration, fn func(Time)) *Event {
 	return e
 }
 
+// reuseAfter implements eventReuser: it re-arms e to fire d units from
+// now, recycling its allocation. A nil, still-pending, or canceled e is
+// replaced by a fresh event (reviving a canceled handle would make a
+// stale Cancel able to kill the new incarnation).
+func (v *Virtual) reuseAfter(e *Event, d Duration, fn func(Time)) *Event {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if e == nil || e.index >= 0 || e.canceled {
+		e = &Event{}
+	}
+	e.when = v.now.Add(d)
+	e.seq = v.seq
+	e.fn = fn
+	v.seq++
+	heap.Push(&v.queue, e)
+	return e
+}
+
 // Cancel removes a pending event. It is a no-op if the event already
 // fired. It reports whether the event was still pending.
 func (v *Virtual) Cancel(e *Event) bool {

@@ -1,36 +1,41 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/clock"
 )
 
 // Env is the graph-wide context shared by all registries of one query
-// graph: the clock, the periodic updater, the framework self-metrics,
-// and the graph-level lock.
+// graph: the clock, the periodic updater, and the framework
+// self-metrics.
 //
-// Locking follows the three-level scheme of Section 4.2 adapted to Go:
-// the Env's structural mutex (graph level) serializes every structural
-// operation — subscription, unsubscription, definition, event firing
-// and trigger propagation; each Registry carries a node-level RWMutex
-// guarding its entry table; and each handler guards its value with a
-// metadata-level mutex. Go deliberately has no reentrant locks, so
-// instead of reentrancy the framework enforces a strict lock order
-// (graph -> node -> item) and never calls back into structural
-// operations while holding a node- or item-level lock.
+// Locking follows the three-level scheme of Section 4.2 adapted to Go,
+// with the graph level sharded by dependency scope (see scope.go):
+// each connected component of the dependency relation over registries
+// carries its own structural lock, and a structural operation —
+// subscription, unsubscription, definition, event firing, trigger
+// propagation, introspection — locks only the component(s) covering
+// the registries it touches, in ascending component-id order when it
+// spans several. Each Registry additionally carries a node-level
+// RWMutex guarding its maps, and each handler guards its state with a
+// metadata-level mutex while publishing its value through an atomic
+// snapshot for lock-free reads. Go deliberately has no reentrant
+// locks, so instead of reentrancy the framework enforces a strict lock
+// order (component -> node -> item) and never calls back into
+// structural operations while holding a node- or item-level lock.
 type Env struct {
 	clk     clock.Clock
 	updater Updater
 	stats   Stats
 
-	// structMu is the graph-level lock.
-	structMu sync.Mutex
-
 	// seq numbers entries in creation order for deterministic
 	// propagation.
 	seq atomic.Int64
+
+	// compSeq numbers dependency-scope components; ids define the
+	// cross-component lock-acquisition order.
+	compSeq atomic.Int64
 
 	// naivePropagation enables the ablation propagation mode.
 	naivePropagation bool

@@ -35,6 +35,53 @@ type triggerable interface {
 	refresh(now clock.Time) error
 }
 
+// valueSnapshot is one published (value, error) pair. Periodic and
+// triggered handlers swap a pointer to the current snapshot at publish
+// time, so Value() is a single atomic load and the read path never
+// touches a mutex.
+type valueSnapshot struct {
+	val Value
+	err error
+}
+
+// snapAlloc hands out valueSnapshot slots from chunked backing arrays,
+// amortizing the per-publish heap allocation that lock-free value
+// publication would otherwise pay on every update. Slots are never
+// reused, so a reader holding a snapshot pointer is always safe; a
+// chunk becomes collectable once no reader references any of its
+// slots. Callers must serialize put calls (handlers publish under
+// their update mutex).
+type snapAlloc struct {
+	chunk []valueSnapshot
+	next  int
+}
+
+func (a *snapAlloc) put(v Value, err error) *valueSnapshot {
+	if a.next == len(a.chunk) {
+		// Grow geometrically from a single slot: a handler that only
+		// ever publishes once (create/destroy churn) pays one
+		// snapshot-sized allocation, while a long-lived periodic
+		// handler quickly reaches full chunks.
+		n := 2 * len(a.chunk)
+		if n == 0 {
+			n = 1
+		} else if n > 64 {
+			n = 64
+		}
+		a.chunk = make([]valueSnapshot, n)
+		a.next = 0
+	}
+	s := &a.chunk[a.next]
+	a.next++
+	s.val = v
+	if err != nil {
+		// Slots are freshly zeroed and never reused, so the nil-error
+		// common case needs no store (and no write barrier).
+		s.err = err
+	}
+	return s
+}
+
 // --- Static ---
 
 // staticHandler serves an invariable value.

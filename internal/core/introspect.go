@@ -30,8 +30,8 @@ func (r *Registry) Modules() []string {
 // not included. The result reflects the live dependency graph — the
 // structure a monitoring tool renders as Figure 3.
 func (r *Registry) Dependencies(kind Kind) (deps []ItemRef, ok bool) {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
+	sc := r.env.lockScope(r)
+	defer sc.unlock()
 	e, exists := r.entries[kind]
 	if !exists {
 		return nil, false
@@ -47,8 +47,8 @@ func (r *Registry) Dependencies(kind Kind) (deps []ItemRef, ok bool) {
 // Dependents returns the included items that currently depend on the
 // item kind, or ok=false if it is not included.
 func (r *Registry) Dependents(kind Kind) (deps []ItemRef, ok bool) {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
+	sc := r.env.lockScope(r)
+	defer sc.unlock()
 	e, exists := r.entries[kind]
 	if !exists {
 		return nil, false
@@ -67,8 +67,8 @@ func (r *Registry) Dependents(kind Kind) (deps []ItemRef, ok bool) {
 
 // Ref returns the ItemRef of an included item.
 func (r *Registry) Ref(kind Kind) (ItemRef, bool) {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
+	sc := r.env.lockScope(r)
+	defer sc.unlock()
 	e, exists := r.entries[kind]
 	if !exists {
 		return ItemRef{}, false
@@ -76,7 +76,8 @@ func (r *Registry) Ref(kind Kind) (ItemRef, bool) {
 	return itemRefLocked(e), true
 }
 
-// itemRefLocked builds an ItemRef; the graph-level lock must be held.
+// itemRefLocked builds an ItemRef; the owning component's lock must be
+// held.
 func itemRefLocked(e *entry) ItemRef {
 	mech := StaticMechanism
 	if e.handler != nil {

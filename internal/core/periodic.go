@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/clock"
 )
@@ -18,17 +19,29 @@ type WindowComputeFunc func(start, end clock.Time) (Value, error)
 // concurrent consumers never interfere with each other's measurements
 // (contrast Figure 4, where naive on-demand rate computations by two
 // consumers corrupt each other's counters).
+//
+// The current value is published through an atomic snapshot pointer,
+// so Value() is lock-free: readers never contend with the periodic
+// update or with each other.
 type periodicHandler struct {
 	window  clock.Duration
 	compute WindowComputeFunc
 
+	// cur is the published value snapshot; nil before the handler
+	// starts and again after it stops (reads then report
+	// ErrUnsubscribed).
+	cur atomic.Pointer[valueSnapshot]
+
 	mu       sync.Mutex
 	e        *entry
-	val      Value
-	err      error
+	snaps    snapAlloc
 	winStart clock.Time
 	ticker   *clock.Ticker
 	stopped  bool
+	// async records whether ticks run asynchronously to the clock
+	// (pool updater): only then can a tick lag behind the clock and
+	// need its window end clamped to the clock's current position.
+	async bool
 }
 
 // NewPeriodic returns a handler that recomputes its value every window
@@ -42,12 +55,11 @@ func NewPeriodic(window clock.Duration, compute WindowComputeFunc) Handler {
 }
 
 func (h *periodicHandler) Value() (Value, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.e == nil {
+	s := h.cur.Load()
+	if s == nil {
 		return nil, ErrUnsubscribed
 	}
-	return h.val, h.err
+	return s.val, s.err
 }
 
 func (h *periodicHandler) Mechanism() Mechanism { return PeriodicMechanism }
@@ -61,15 +73,26 @@ func (h *periodicHandler) start(e *entry) error {
 	h.mu.Lock()
 	h.e = e
 	h.winStart = now
+	_, inline := env.Updater().(inlineUpdater)
+	h.async = !inline
 	env.Stats().ComputeCalls.Add(1)
-	h.val, h.err = h.compute(now, now)
+	v, err := h.compute(now, now)
+	h.cur.Store(h.snaps.put(v, err))
 	h.mu.Unlock()
 	// The ticker fires on the clock goroutine; the actual update runs
 	// on the env's updater (a worker pool for large graphs, Section
-	// 4.3) and takes the graph-level lock so trigger propagation is
-	// serialized with structural changes.
+	// 4.3) and takes only the owning component's lock, so trigger
+	// propagation is serialized with structural changes of its own
+	// dependency scope while unrelated scopes proceed in parallel.
 	h.ticker = clock.NewTicker(env.Clock(), h.window, func(now clock.Time) {
-		env.Updater().Submit(func() { h.tick(now) })
+		if h.async {
+			env.Updater().Submit(func() { h.tick(now) })
+		} else {
+			// Inline updater: run the tick directly instead of paying
+			// a closure allocation and dispatch per tick for a Submit
+			// that would execute it synchronously anyway.
+			h.tick(now)
+		}
 	})
 	return nil
 }
@@ -82,31 +105,45 @@ func (h *periodicHandler) tick(now clock.Time) {
 	}
 	e := h.e
 	start := h.winStart
+	env := e.reg.env
+	// A pooled tick may run after the clock has moved past its
+	// scheduled boundary (Submit never blocks, so the clock goroutine
+	// can outpace the workers). Measure up to the clock's current
+	// position: the window then covers exactly the probe events
+	// gathered since winStart instead of attributing them all to the
+	// first lagging window and none to the rest. Inline ticks run
+	// synchronously on the clock goroutine and are never late.
+	if h.async {
+		if cur := env.Now(); cur > now {
+			now = cur
+		}
+	}
 	if now <= start {
-		// A worker pool may execute tick tasks out of order; a stale
-		// tick must not overwrite a newer published value.
+		// A worker pool may also execute tick tasks out of order; a
+		// stale tick must not overwrite a newer published value.
 		h.mu.Unlock()
 		return
 	}
-	env := e.reg.env
 	stats := env.Stats()
 	stats.ComputeCalls.Add(1)
 	stats.PeriodicUpdates.Add(1)
 	// The computation runs under the handler's own (metadata-level)
 	// lock only, so independent periodic updates execute in parallel
-	// on the worker pool.
-	h.val, h.err = h.compute(start, now)
+	// on the worker pool. The result is published atomically for
+	// lock-free readers.
+	v, err := h.compute(start, now)
+	h.cur.Store(h.snaps.put(v, err))
 	h.winStart = now
 	h.mu.Unlock()
 
 	// Publishing a periodic value notifies dependent triggered
 	// handlers along the inverted dependency graph. Propagation is a
-	// structural traversal and takes the graph-level lock — but only
-	// when the item actually has dependents.
+	// structural traversal batched under the owning component's lock
+	// only — and only when the item actually has dependents.
 	if e.ndeps.Load() > 0 {
-		env.structMu.Lock()
+		sc := env.lockScope(e.reg)
 		e.reg.propagateLocked(e, now)
-		env.structMu.Unlock()
+		sc.unlock()
 	}
 }
 
@@ -114,6 +151,7 @@ func (h *periodicHandler) stop() {
 	h.mu.Lock()
 	h.stopped = true
 	h.e = nil
+	h.cur.Store(nil)
 	t := h.ticker
 	h.ticker = nil
 	h.mu.Unlock()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,6 +21,11 @@ type Registry struct {
 	env *Env
 	id  string
 
+	// comp is the registry's dependency-scope component (union-find
+	// node, see scope.go). Structural operations lock the component's
+	// root instead of a graph-wide mutex.
+	comp *component
+
 	// inputs/outputs resolve the node's upstream and downstream
 	// registries for inter-node dependencies. They are set by the
 	// graph layer and read at inclusion time.
@@ -35,17 +41,21 @@ type Registry struct {
 }
 
 // entry pairs an in-use metadata item with its handler (1-to-1,
-// Section 2.1). All structural fields are guarded by the env's
-// graph-level lock; handler and removed are additionally guarded by
-// the registry's node-level lock for lock-free reads on the value
-// path.
+// Section 2.1). All structural fields are guarded by the owning
+// component's structural lock; the handler is additionally published
+// through an atomic pointer for lock-free reads on the value path.
 type entry struct {
-	reg     *Registry
-	kind    Kind
-	def     *Definition
-	seq     int64
+	reg  *Registry
+	kind Kind
+	def  *Definition
+	seq  int64
+
+	// handler is the structural reference, guarded by the component
+	// lock.
 	handler Handler
-	removed bool
+	// pub publishes the handler for lock-free value reads; nil before
+	// the entry commits and again once it is removed.
+	pub atomic.Pointer[Handler]
 
 	refs       int
 	depGroups  [][]*entry
@@ -53,29 +63,31 @@ type entry struct {
 	events     []string
 
 	// ndeps mirrors len(dependents) so periodic handlers can skip the
-	// graph-level lock entirely when nothing depends on them — the
+	// component lock entirely when nothing depends on them — the
 	// key to parallel periodic updates on the worker pool (Section
 	// 4.3: only the locks involved in the currently included items
 	// are used).
 	ndeps atomic.Int32
 }
 
-// getHandler returns the entry's handler, or nil once removed.
+// getHandler returns the entry's handler, or nil once removed. It is
+// an atomic load — the value read path takes no lock.
 func (e *entry) getHandler() Handler {
-	e.reg.mu.RLock()
-	defer e.reg.mu.RUnlock()
-	if e.removed {
-		return nil
+	if p := e.pub.Load(); p != nil {
+		return *p
 	}
-	return e.handler
+	return nil
 }
 
 // NewRegistry creates a registry bound to this environment. The id
-// appears in error messages and must be unique within the graph.
+// appears in error messages and must be unique within the graph. Every
+// registry starts as its own dependency-scope component; components
+// merge as metadata dependencies connect registries.
 func (env *Env) NewRegistry(id string) *Registry {
 	return &Registry{
 		env:     env,
 		id:      id,
+		comp:    env.newComponent(),
 		defs:    make(map[Kind]*Definition),
 		entries: make(map[Kind]*entry),
 		modules: make(map[string]*Registry),
@@ -93,8 +105,8 @@ func (r *Registry) Env() *Env { return r.env }
 // downstream registries. The graph layer calls this when nodes are
 // wired; either function may be nil for none.
 func (r *Registry) SetNeighbors(inputs, outputs func() []*Registry) {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
+	sc := r.env.lockScope(r)
+	defer sc.unlock()
 	r.inputs = inputs
 	r.outputs = outputs
 }
@@ -102,9 +114,12 @@ func (r *Registry) SetNeighbors(inputs, outputs func() []*Registry) {
 // AttachModule registers the registry of an exchangeable module under
 // the given name (Section 4.5). Metadata items of the node can then
 // depend on the module's items via the Module selector, recursively.
+// The module keeps its own dependency-scope component until metadata
+// actually links it to the node; attach itself only needs both
+// components locked (in deterministic order).
 func (r *Registry) AttachModule(name string, m *Registry) {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
+	sc := r.env.lockScope(r, m)
+	defer sc.unlock()
 	m.parent = r
 	r.mu.Lock()
 	r.modules[name] = m
@@ -112,14 +127,22 @@ func (r *Registry) AttachModule(name string, m *Registry) {
 }
 
 // DetachModule removes a module registry. Items of the module must not
-// be in use.
+// be in use. This is a cross-component operation when no metadata ever
+// linked module and node; lockScope orders the two locks by component
+// id.
 func (r *Registry) DetachModule(name string) error {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
 	r.mu.RLock()
 	m := r.modules[name]
 	r.mu.RUnlock()
 	if m == nil {
+		return nil
+	}
+	sc := r.env.lockScope(r, m)
+	defer sc.unlock()
+	r.mu.RLock()
+	still := r.modules[name] == m
+	r.mu.RUnlock()
+	if !still {
 		return nil
 	}
 	m.mu.RLock()
@@ -155,8 +178,8 @@ func (r *Registry) Define(def *Definition) error {
 	if def.Build == nil {
 		return fmt.Errorf("core: definition of %s/%s without Build", r.id, def.Kind)
 	}
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
+	sc := r.env.lockScope(r)
+	defer sc.unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.entries[def.Kind]; ok {
@@ -219,13 +242,33 @@ func (r *Registry) IsIncluded(kind Kind) bool {
 // Refs returns the current reference count of the item (0 if not
 // included). Intended for tests and monitoring.
 func (r *Registry) Refs(kind Kind) int {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
+	sc := r.env.lockScope(r)
+	defer sc.unlock()
 	e, ok := r.entries[kind]
 	if !ok {
 		return 0
 	}
 	return e.refs
+}
+
+// Peek reads the current value of an included item without taking a
+// subscription: no reference count churn, no structural lock — just
+// the node-level map read and the handler's own (lock-free for
+// periodic/triggered) value read. It returns ErrUnsubscribed if the
+// item is not included, which makes it the right primitive for
+// monitoring paths that sample many items at once.
+func (r *Registry) Peek(kind Kind) (Value, error) {
+	r.mu.RLock()
+	e, ok := r.entries[kind]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, ErrUnsubscribed
+	}
+	h := e.getHandler()
+	if h == nil {
+		return nil, ErrUnsubscribed
+	}
+	return h.Value()
 }
 
 // Mechanism returns the update mechanism of an included item's handler.
@@ -247,14 +290,33 @@ func (r *Registry) Mechanism(kind Kind) (Mechanism, bool) {
 // and, by depth-first traversal of the dependency graph, the handlers
 // of every transitively required item — if it is not yet provided
 // (Section 2.4). Dependent items already provided are shared.
+//
+// Locking: the traversal runs under the dependency-scope component
+// lock(s) covering the registries it touches. The covering set is not
+// known up front — an inter-node dependency may reach a registry in
+// another component — so the traversal starts under the subscriber's
+// component lock and, when it would leave the locked scope, rolls back,
+// widens the scope by the escaped registry (lockScope re-acquires all
+// locks in ascending component-id order), and retries. Each retry
+// covers strictly more of the closure and components only ever merge,
+// so the loop terminates. Cross-component edges created by the
+// traversal merge the components involved.
 func (r *Registry) Subscribe(kind Kind) (*Subscription, error) {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
-	e, err := r.includeLocked(kind, make(map[*Registry]map[Kind]bool))
-	if err != nil {
+	need := []*Registry{r}
+	for {
+		sc := r.env.lockScope(need...)
+		e, err := r.includeLocked(kind, make(map[*Registry]map[Kind]bool), &sc)
+		sc.unlock()
+		if err == nil {
+			return &Subscription{h: &Handle{e: e}}, nil
+		}
+		var esc *scopeEscapeError
+		if errors.As(err, &esc) {
+			need = append(need, esc.reg)
+			continue
+		}
 		return nil, err
 	}
-	return &Subscription{h: &Handle{e: e}}, nil
 }
 
 // resolveSelector maps a dependency selector to concrete registries.
@@ -303,8 +365,11 @@ func (r *Registry) resolveSelector(s Selector) ([]*Registry, error) {
 }
 
 // includeLocked performs one step of the depth-first inclusion
-// traversal. The env's graph-level lock must be held.
-func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool) (*entry, error) {
+// traversal. The component lock(s) of the scope must be held and cover
+// r. When a dependency resolves to a registry outside the scope, the
+// step rolls back and reports a scopeEscapeError so Subscribe can
+// widen the scope and retry.
+func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool, sc *scope) (*entry, error) {
 	// The traversal stops at items already provided: sharing the
 	// existing handler saves redundant maintenance costs (Section 2.1).
 	if e, ok := r.entries[kind]; ok {
@@ -363,7 +428,15 @@ func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool
 				ErrBadSelector, dr.Target, r.id, kind, dr.Kind)
 		}
 		for _, tr := range regs {
-			de, err := tr.includeLocked(dr.Kind, visiting)
+			if !sc.covers(tr) {
+				rollback()
+				return nil, &scopeEscapeError{reg: tr}
+			}
+			// The dependency edge r -> tr joins the two registries'
+			// components; merge eagerly (a later rollback leaves them
+			// merged, which is conservative but correct).
+			sc.mergeLocked(r, tr)
+			de, err := tr.includeLocked(dr.Kind, visiting, sc)
 			if err != nil {
 				rollback()
 				return nil, fmt.Errorf("including %s/%s: %w", r.id, kind, err)
@@ -412,6 +485,10 @@ func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool
 	}
 	e.refs = 1
 	e.handler = handler
+	// Publish the handler field itself: it is written exactly once
+	// (here, before the entry becomes reachable) and never mutated, so
+	// readers may dereference the pointer without synchronization.
+	e.pub.Store(&e.handler)
 	r.mu.Lock()
 	r.entries[kind] = e
 	r.mu.Unlock()
@@ -425,16 +502,19 @@ func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool
 }
 
 // unsubscribe releases one reference from a consumer Subscription.
+// The release closure stays within the entry's component: every
+// dependency edge merged the components involved at inclusion time,
+// and components never split.
 func (r *Registry) unsubscribe(e *entry) {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
+	sc := r.env.lockScope(r)
+	defer sc.unlock()
 	e.releaseLocked()
 }
 
 // releaseLocked decrements the reference count and removes the handler
 // — deactivating monitoring code and recursively excluding
 // dependencies — when it reaches zero (the removeMetadata operation of
-// Section 4.4.1). The env's graph-level lock must be held.
+// Section 4.4.1). The owning component's lock must be held.
 func (e *entry) releaseLocked() {
 	e.refs--
 	if e.refs > 0 {
@@ -443,8 +523,8 @@ func (e *entry) releaseLocked() {
 	r := e.reg
 	r.mu.Lock()
 	delete(r.entries, e.kind)
-	e.removed = true
 	r.mu.Unlock()
+	e.pub.Store(nil)
 
 	if e.handler != nil {
 		e.handler.stop()
@@ -477,8 +557,8 @@ func (e *entry) releaseLocked() {
 // (Section 3.2.3: event notifications let developers fire triggers
 // manually, e.g. when an operator's state or a window size changes).
 func (r *Registry) FireEvent(name string) {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
+	sc := r.env.lockScope(r)
+	defer sc.unlock()
 	r.env.stats.EventsFired.Add(1)
 	set := r.events[name]
 	if len(set) == 0 {
@@ -496,8 +576,8 @@ func (r *Registry) FireEvent(name string) {
 // the notification mechanism for items whose handlers do not publish
 // (Section 3.2.3). It is a no-op if the item is not included.
 func (r *Registry) NotifyChanged(kind Kind) {
-	r.env.structMu.Lock()
-	defer r.env.structMu.Unlock()
+	sc := r.env.lockScope(r)
+	defer sc.unlock()
 	e, ok := r.entries[kind]
 	if !ok {
 		return
@@ -506,7 +586,8 @@ func (r *Registry) NotifyChanged(kind Kind) {
 }
 
 // propagateLocked pushes an update of e to its transitive triggerable
-// dependents. The graph-level lock must be held.
+// dependents. The owning component's lock must be held; the dependent
+// closure cannot leave the component.
 func (r *Registry) propagateLocked(e *entry, now clock.Time) {
 	seeds := make([]*entry, 0, len(e.dependents))
 	for d := range e.dependents {
@@ -519,7 +600,7 @@ func (r *Registry) propagateLocked(e *entry, now clock.Time) {
 // and all their transitive triggerable dependents, in topological
 // order of the dependency graph, so every handler recomputes after all
 // of its updated dependencies (the update-order requirement of Section
-// 3.2.3). The graph-level lock must be held.
+// 3.2.3). The lock of the component holding the seeds must be held.
 func (env *Env) refreshClosureLocked(seeds []*entry, now clock.Time) {
 	if env.naivePropagation {
 		env.refreshNaiveLocked(seeds, now)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/clock"
 )
@@ -12,13 +13,19 @@ import (
 // the first subscription; refreshes propagate recursively along the
 // inverted dependency graph in topological order, so a handler is
 // refreshed only after all of its updated dependencies.
+//
+// Like the periodic handler, the current value is published through an
+// atomic snapshot pointer, so Value() is lock-free.
 type triggeredHandler struct {
 	compute ComputeFunc
 
-	mu  sync.Mutex
-	e   *entry
-	val Value
-	err error
+	// cur is the published value snapshot; nil before start and after
+	// stop.
+	cur atomic.Pointer[valueSnapshot]
+
+	mu    sync.Mutex
+	e     *entry
+	snaps snapAlloc
 }
 
 // NewTriggered returns a handler recomputed on dependency updates and
@@ -29,12 +36,11 @@ func NewTriggered(compute ComputeFunc) Handler {
 }
 
 func (h *triggeredHandler) Value() (Value, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.e == nil {
+	s := h.cur.Load()
+	if s == nil {
 		return nil, ErrUnsubscribed
 	}
-	return h.val, h.err
+	return s.val, s.err
 }
 
 func (h *triggeredHandler) Mechanism() Mechanism { return TriggeredMechanism }
@@ -48,7 +54,8 @@ func (h *triggeredHandler) start(e *entry) error {
 	// first subscription"). Dependencies are already included at this
 	// point, so compute may read them.
 	e.reg.env.Stats().ComputeCalls.Add(1)
-	h.val, h.err = h.compute(e.reg.env.Now())
+	v, err := h.compute(e.reg.env.Now())
+	h.cur.Store(h.snaps.put(v, err))
 	return nil
 }
 
@@ -62,12 +69,14 @@ func (h *triggeredHandler) refresh(now clock.Time) error {
 	stats := h.e.reg.env.Stats()
 	stats.ComputeCalls.Add(1)
 	stats.TriggeredUpdates.Add(1)
-	h.val, h.err = h.compute(now)
-	return h.err
+	v, err := h.compute(now)
+	h.cur.Store(h.snaps.put(v, err))
+	return err
 }
 
 func (h *triggeredHandler) stop() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.e = nil
+	h.cur.Store(nil)
 }

@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/ring"
+)
 
 // Updater executes the periodic update tasks of the metadata framework
 // (Section 4.3). The inline updater runs tasks synchronously on the
@@ -29,13 +33,19 @@ func (inlineUpdater) Submit(fn func()) { fn() }
 func (inlineUpdater) WaitIdle()        {}
 func (inlineUpdater) Stop()            {}
 
-// poolUpdater distributes tasks over worker goroutines.
+// poolUpdater distributes tasks over worker goroutines. The task queue
+// is unbounded: Submit never blocks, so a task running on a pool
+// worker can safely submit follow-up work. (A bounded channel here can
+// wedge the whole pool: every worker blocks in Submit on the full
+// channel, and no worker is left to drain it.)
 type poolUpdater struct {
-	tasks   chan func()
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   ring.Buffer[func()]
 	pending sync.WaitGroup
 	workers sync.WaitGroup
-	mu      sync.Mutex
-	stopped bool
+	stopped bool // no new submissions accepted
+	closed  bool // queue drained; workers exit
 }
 
 // NewPoolUpdater returns an Updater backed by k worker goroutines.
@@ -43,21 +53,34 @@ func NewPoolUpdater(k int) Updater {
 	if k <= 0 {
 		panic("core: pool updater needs at least one worker")
 	}
-	u := &poolUpdater{tasks: make(chan func(), 4*k)}
+	u := &poolUpdater{}
+	u.cond = sync.NewCond(&u.mu)
 	u.workers.Add(k)
 	for i := 0; i < k; i++ {
-		go func() {
-			defer u.workers.Done()
-			for fn := range u.tasks {
-				fn()
-				u.pending.Done()
-			}
-		}()
+		go u.work()
 	}
 	return u
 }
 
-// Submit implements Updater.
+func (u *poolUpdater) work() {
+	defer u.workers.Done()
+	for {
+		u.mu.Lock()
+		for u.queue.Len() == 0 && !u.closed {
+			u.cond.Wait()
+		}
+		if u.queue.Len() == 0 {
+			u.mu.Unlock()
+			return
+		}
+		fn := u.queue.Pop()
+		u.mu.Unlock()
+		fn()
+		u.pending.Done()
+	}
+}
+
+// Submit implements Updater. It never blocks.
 func (u *poolUpdater) Submit(fn func()) {
 	u.mu.Lock()
 	if u.stopped {
@@ -65,8 +88,9 @@ func (u *poolUpdater) Submit(fn func()) {
 		return
 	}
 	u.pending.Add(1)
+	u.queue.Push(fn)
 	u.mu.Unlock()
-	u.tasks <- fn
+	u.cond.Signal()
 }
 
 // WaitIdle implements Updater.
@@ -82,6 +106,9 @@ func (u *poolUpdater) Stop() {
 	u.stopped = true
 	u.mu.Unlock()
 	u.pending.Wait()
-	close(u.tasks)
+	u.mu.Lock()
+	u.closed = true
+	u.mu.Unlock()
+	u.cond.Broadcast()
 	u.workers.Wait()
 }

@@ -61,6 +61,47 @@ func TestPoolUpdaterSubmitAfterStopIsNoop(t *testing.T) {
 	u.Stop() // idempotent
 }
 
+// TestPoolUpdaterSubmitFromTask is the regression test for the bounded
+// task-channel deadlock: a task running on the last free worker that
+// re-submits follow-up work (e.g. a periodic tick spawning more work)
+// used to block on the full channel forever, wedging the pool. With
+// the unbounded internal queue, Submit never blocks.
+func TestPoolUpdaterSubmitFromTask(t *testing.T) {
+	u := NewPoolUpdater(1)
+	defer u.Stop()
+	var n atomic.Int64
+	// Pre-fill the queue well past the old channel capacity (4*k) so a
+	// bounded implementation would be full when the inner Submit runs.
+	block := make(chan struct{})
+	u.Submit(func() { <-block })
+	for i := 0; i < 64; i++ {
+		u.Submit(func() { n.Add(1) })
+	}
+	u.Submit(func() {
+		// Re-submission from inside a task with a loaded queue: this
+		// is the call that deadlocked the bounded pool.
+		for i := 0; i < 64; i++ {
+			u.Submit(func() { n.Add(1) })
+		}
+		n.Add(1)
+	})
+	close(block)
+
+	done := make(chan struct{})
+	go func() {
+		u.WaitIdle()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool wedged: Submit from inside a task deadlocked")
+	}
+	if got := n.Load(); got != 129 {
+		t.Fatalf("ran %d tasks, want 129", got)
+	}
+}
+
 func TestPoolUpdaterZeroWorkersPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

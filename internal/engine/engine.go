@@ -14,6 +14,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/ring"
 	"repro/internal/sched"
 	"repro/internal/stream"
 )
@@ -24,15 +25,17 @@ type timedEl struct {
 	at clock.Time
 }
 
-// queue is one inter-operator queue (consumer, port).
+// queue is one inter-operator queue (consumer, port). Elements live in
+// a ring buffer so enqueue and dequeue are O(1) without the
+// re-allocation and copying of an append-plus-shift slice.
 type queue struct {
 	to       graph.Node
 	port     int
-	els      []timedEl
+	els      ring.Buffer[timedEl]
 	elemSize int64
 }
 
-func (q *queue) bytes() int64 { return int64(len(q.els)) * q.elemSize }
+func (q *queue) bytes() int64 { return int64(q.els.Len()) * q.elemSize }
 
 // binding drives one source from a generator.
 type binding struct {
@@ -160,7 +163,7 @@ func (e *Engine) enqueue(from graph.Node, el stream.Element, now clock.Time) {
 		if q == nil {
 			panic(fmt.Sprintf("engine: no queue for edge %s->%s", from.Name(), c.Name()))
 		}
-		q.els = append(q.els, timedEl{el: el, at: now})
+		q.els.Push(timedEl{el: el, at: now})
 	}
 }
 
@@ -178,9 +181,8 @@ func (e *Engine) drain(now clock.Time) {
 	for {
 		progressed := false
 		for _, q := range e.queues {
-			for len(q.els) > 0 {
-				te := q.els[0]
-				q.els = q.els[1:]
+			for q.els.Len() > 0 {
+				te := q.els.Pop()
 				e.processed++
 				for _, out := range q.to.Process(te.el, q.port) {
 					e.enqueue(q.to, out, now)
@@ -200,16 +202,16 @@ func (e *Engine) serviceTick(now clock.Time) {
 		var infos []sched.QueueInfo
 		var nonEmpty []*queue
 		for _, q := range e.queues {
-			if len(q.els) == 0 {
+			if q.els.Len() == 0 {
 				continue
 			}
 			nonEmpty = append(nonEmpty, q)
 			infos = append(infos, sched.QueueInfo{
 				Node:        q.to,
 				Port:        q.port,
-				Len:         len(q.els),
+				Len:         q.els.Len(),
 				Bytes:       q.bytes(),
-				HeadArrival: q.els[0].at,
+				HeadArrival: q.els.Peek().at,
 			})
 		}
 		if len(infos) == 0 {
@@ -220,8 +222,7 @@ func (e *Engine) serviceTick(now clock.Time) {
 			return
 		}
 		q := nonEmpty[pick]
-		te := q.els[0]
-		q.els = q.els[1:]
+		te := q.els.Pop()
 		e.processed++
 		for _, out := range q.to.Process(te.el, q.port) {
 			e.enqueue(q.to, out, now)
@@ -257,7 +258,7 @@ func (e *Engine) RunToCompletion() {
 func (e *Engine) QueuedElements() int {
 	n := 0
 	for _, q := range e.queues {
-		n += len(q.els)
+		n += q.els.Len()
 	}
 	return n
 }

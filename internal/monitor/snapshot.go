@@ -47,22 +47,19 @@ func Snapshot(g *graph.Graph) []NodeSnapshot {
 			if mech, ok := r.Mechanism(kind); ok {
 				item.Mechanism = mech.String()
 			}
-			sub, err := r.Subscribe(kind)
+			// Peek reads the live value without subscription churn:
+			// monitoring never perturbs reference counts or takes the
+			// structural locks of the scopes it observes.
+			v, err := r.Peek(kind)
 			if err != nil {
 				item.Error = err.Error()
 			} else {
-				v, err := sub.Value()
-				if err != nil {
-					item.Error = err.Error()
-				} else {
-					switch v.(type) {
-					case float64, int, int64, bool, string, nil:
-						item.Value = v
-					default:
-						item.Value = fmt.Sprint(v)
-					}
+				switch v.(type) {
+				case float64, int, int64, bool, string, nil:
+					item.Value = v
+				default:
+					item.Value = fmt.Sprint(v)
 				}
-				sub.Unsubscribe()
 			}
 			ns.Items = append(ns.Items, item)
 		}

@@ -1,0 +1,63 @@
+// Package ring provides a growable FIFO ring buffer with O(1)
+// amortized enqueue and O(1) dequeue. It backs the engine's
+// inter-operator queues and the metadata framework's worker-pool task
+// queue, replacing slice-append plus shift-on-service patterns that
+// reallocate and copy on every cycle.
+package ring
+
+// Buffer is a FIFO ring buffer. The zero value is an empty buffer
+// ready for use. Buffer is not safe for concurrent use.
+type Buffer[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of buffered elements.
+func (b *Buffer[T]) Len() int { return b.n }
+
+// Push appends v at the tail, doubling the backing array when full.
+func (b *Buffer[T]) Push(v T) {
+	if b.n == len(b.buf) {
+		b.grow()
+	}
+	b.buf[(b.head+b.n)%len(b.buf)] = v
+	b.n++
+}
+
+// Pop removes and returns the head element. It panics on an empty
+// buffer.
+func (b *Buffer[T]) Pop() T {
+	if b.n == 0 {
+		panic("ring: Pop of empty buffer")
+	}
+	var zero T
+	v := b.buf[b.head]
+	b.buf[b.head] = zero // release the reference for GC
+	b.head = (b.head + 1) % len(b.buf)
+	b.n--
+	return v
+}
+
+// Peek returns the head element without removing it. It panics on an
+// empty buffer.
+func (b *Buffer[T]) Peek() T {
+	if b.n == 0 {
+		panic("ring: Peek of empty buffer")
+	}
+	return b.buf[b.head]
+}
+
+// grow doubles the capacity (starting at 8) and linearizes the
+// elements at the front of the new backing array.
+func (b *Buffer[T]) grow() {
+	c := 2 * len(b.buf)
+	if c == 0 {
+		c = 8
+	}
+	nb := make([]T, c)
+	for i := 0; i < b.n; i++ {
+		nb[i] = b.buf[(b.head+i)%len(b.buf)]
+	}
+	b.buf, b.head = nb, 0
+}

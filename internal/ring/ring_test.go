@@ -1,0 +1,86 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var b Buffer[int]
+	for i := 0; i < 100; i++ {
+		b.Push(i)
+	}
+	if b.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", b.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := b.Peek(); got != i {
+			t.Fatalf("Peek = %d, want %d", got, i)
+		}
+		if got := b.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", b.Len())
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var b Buffer[int]
+	next, expect := 0, 0
+	// Interleave pushes and pops so head wraps the backing array many
+	// times at several fill levels.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			b.Push(next)
+			next++
+		}
+		for i := 0; i < 2+round%4 && b.Len() > 0; i++ {
+			if got := b.Pop(); got != expect {
+				t.Fatalf("Pop = %d, want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for b.Len() > 0 {
+		if got := b.Pop(); got != expect {
+			t.Fatalf("Pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d elements, pushed %d", expect, next)
+	}
+}
+
+func TestGrowPreservesOrderAcrossWrap(t *testing.T) {
+	var b Buffer[int]
+	// Fill, drain half, refill past capacity so grow() runs with a
+	// wrapped head.
+	for i := 0; i < 8; i++ {
+		b.Push(i)
+	}
+	for i := 0; i < 5; i++ {
+		b.Pop()
+	}
+	for i := 8; i < 30; i++ {
+		b.Push(i)
+	}
+	for want := 5; want < 30; want++ {
+		if got := b.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	var b Buffer[string]
+	for _, op := range []func(){func() { b.Pop() }, func() { b.Peek() }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on empty buffer")
+				}
+			}()
+			op()
+		}()
+	}
+}
