@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := smoketest.Run(t, []string{"qgen", "-shape", "chain", "-n", "5", "-duration", "100"}, main)
+	for _, want := range []string{"shape=chain operators=5", "elements processed:", "updates per time unit:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := smoketest.Run(t, []string{"replay"}, main)
+	if !strings.Contains(out, "replay reproduced every measurement exactly") {
+		t.Errorf("replay did not report exact reproduction:\n%s", out)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Structural self-checking for the model-based correctness harness
+// (internal/modelcheck) and for debugging. These checks have access to
+// the framework's internals — entry reference counts, dependency
+// multiplicities, the union-find scope forest — and verify the
+// invariants the paper's semantics rely on:
+//
+//  1. handler lifecycle: every included item has a live handler, a
+//     published snapshot pointer, and a positive reference count; no
+//     handler exists for an item with zero references (removed entries
+//     are unreachable).
+//  2. refcount conservation: an item's reference count equals the
+//     number of live external subscriptions plus the dependency-edge
+//     multiplicities of its included dependents.
+//  3. inclusion closure: every dependency handle of an included item
+//     points at an entry that is itself included (present in its
+//     registry's entry table), with symmetric dependent bookkeeping.
+//  4. union-find scope consistency: registries connected by a live
+//     dependency edge share a component root.
+//  5. event-registration consistency: the per-registry event tables
+//     and the entries' event lists mirror each other.
+
+// ItemKey identifies one metadata item across registries, for the
+// external-subscription counts passed to VerifyIntegrity.
+type ItemKey struct {
+	Registry string
+	Kind     Kind
+}
+
+// ScopesUnlocked verifies that no component lock covering the given
+// registries (or their attached modules, recursively) is currently
+// held. It must only be called at a quiescent point — no structural
+// operation in flight — where a held lock means a wedged scope. The
+// probe uses TryLock, so a false positive is impossible: an error
+// really means some goroutine still owns the lock.
+func ScopesUnlocked(regs ...*Registry) error {
+	var seen []*component
+	for _, r := range withModules(regs) {
+		root := find(r.comp)
+		if rootsContain(seen, root) {
+			continue
+		}
+		seen = append(seen, root)
+		if !root.mu.TryLock() {
+			return fmt.Errorf("core: scope lock of component %d (registry %s) is held at quiescence", root.id, r.id)
+		}
+		root.mu.Unlock()
+	}
+	return nil
+}
+
+// VerifyIntegrity checks the structural invariants above over the
+// given registries and, recursively, their attached modules. ext maps
+// each item to its number of live external subscriptions; pass nil to
+// skip refcount conservation (invariant 2). The check locks the
+// covering dependency scopes, so it must not be called while the
+// caller already holds them. All violations found are returned, one
+// error per violation.
+func VerifyIntegrity(ext map[ItemKey]int, regs ...*Registry) []error {
+	all := withModules(regs)
+	if len(all) == 0 {
+		return nil
+	}
+	env := all[0].env
+	sc := env.lockScope(all...)
+	defer sc.unlock()
+
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("core: integrity: "+format, args...))
+	}
+	inSet := make(map[*Registry]bool, len(all))
+	for _, r := range all {
+		inSet[r] = true
+	}
+
+	for _, r := range all {
+		for kind, e := range r.entries {
+			if e.kind != kind || e.reg != r {
+				bad("%s/%s: entry filed under wrong key (%s/%s)", r.id, kind, e.reg.id, e.kind)
+			}
+			// Invariant 1: handler lifecycle.
+			if e.refs < 1 {
+				bad("%s/%s: included with refs=%d", r.id, kind, e.refs)
+			}
+			if e.handler == nil {
+				bad("%s/%s: included without handler", r.id, kind)
+			}
+			if p := e.pub.Load(); p == nil {
+				bad("%s/%s: included without published handler", r.id, kind)
+			} else if p != &e.handler {
+				bad("%s/%s: published handler pointer does not match structural handler", r.id, kind)
+			}
+			if e.def == nil {
+				bad("%s/%s: included without definition", r.id, kind)
+			}
+
+			// Invariant 3 + 4: dependency handles point at included
+			// entries, with symmetric multiplicities, inside the same
+			// dependency-scope component.
+			mult := make(map[*entry]int)
+			for _, g := range e.depGroups {
+				for _, de := range g {
+					mult[de]++
+				}
+			}
+			for de, m := range mult {
+				if de.reg.entries[de.kind] != de {
+					bad("%s/%s: depends on %s/%s which is not included", r.id, kind, de.reg.id, de.kind)
+					continue
+				}
+				if got := de.dependents[e]; got != m {
+					bad("%s/%s: dependency %s/%s records multiplicity %d, handles say %d",
+						r.id, kind, de.reg.id, de.kind, got, m)
+				}
+				if find(e.reg.comp) != find(de.reg.comp) {
+					bad("%s/%s and dependency %s/%s are in different scope components",
+						r.id, kind, de.reg.id, de.kind)
+				}
+				if !inSet[de.reg] {
+					bad("%s/%s: dependency registry %s not covered by the check", r.id, kind, de.reg.id)
+				}
+			}
+			for d, m := range e.dependents {
+				if m < 1 {
+					bad("%s/%s: dependent %s/%s with multiplicity %d", r.id, kind, d.reg.id, d.kind, m)
+				}
+				if d.reg.entries[d.kind] != d {
+					bad("%s/%s: dependent %s/%s is not included", r.id, kind, d.reg.id, d.kind)
+				}
+			}
+			if got := int(e.ndeps.Load()); got != len(e.dependents) {
+				bad("%s/%s: ndeps mirror %d, dependents %d", r.id, kind, got, len(e.dependents))
+			}
+
+			// Invariant 2: refcount conservation.
+			if ext != nil {
+				want := ext[ItemKey{Registry: r.id, Kind: kind}]
+				for _, m := range e.dependents {
+					want += m
+				}
+				if e.refs != want {
+					bad("%s/%s: refs=%d, want %d (external + dependent edges)", r.id, kind, e.refs, want)
+				}
+			}
+
+			// Invariant 5: event registrations, entry side.
+			for _, name := range e.events {
+				if !r.events[name][e] {
+					bad("%s/%s: missing from event table %q", r.id, kind, name)
+				}
+			}
+		}
+
+		// Invariant 5: event registrations, table side.
+		for name, set := range r.events {
+			if len(set) == 0 {
+				bad("%s: empty event table %q not removed", r.id, name)
+			}
+			for e := range set {
+				if e.reg.entries[e.kind] != e {
+					bad("%s: event %q registers excluded item %s/%s", r.id, name, e.reg.id, e.kind)
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// withModules returns regs plus every transitively attached module
+// registry, deduplicated, preserving discovery order.
+func withModules(regs []*Registry) []*Registry {
+	var out []*Registry
+	seen := make(map[*Registry]bool)
+	var add func(r *Registry)
+	add = func(r *Registry) {
+		if r == nil || seen[r] {
+			return
+		}
+		seen[r] = true
+		out = append(out, r)
+		r.mu.RLock()
+		mods := make([]*Registry, 0, len(r.modules))
+		for _, m := range r.modules {
+			mods = append(mods, m)
+		}
+		r.mu.RUnlock()
+		for _, m := range mods {
+			add(m)
+		}
+	}
+	for _, r := range regs {
+		add(r)
+	}
+	return out
+}

@@ -80,5 +80,14 @@ func (e *Env) Stats() *Stats { return &e.stats }
 // Now returns the current time.
 func (e *Env) Now() clock.Time { return e.clk.Now() }
 
+// Quiesce blocks until every asynchronous metadata maintenance task
+// submitted so far (periodic ticks and their trigger propagation on a
+// pool updater) has completed. With the inline updater it returns
+// immediately. It is the quiescence barrier used by the model-based
+// correctness harness: after Quiesce — and with no concurrent
+// structural operations — the metadata state is stable and can be
+// compared against a reference model.
+func (e *Env) Quiesce() { e.updater.WaitIdle() }
+
 // nextSeq returns the next entry creation sequence number.
 func (e *Env) nextSeq() int64 { return e.seq.Add(1) }

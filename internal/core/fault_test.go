@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// Regression tests for the fault-degradation contract exercised by the
+// model-based harness (internal/modelcheck): user-code panics surface
+// as ErrComputePanic on Subscribe/Value without leaking references,
+// wedging scope locks, or corrupting published snapshots.
+
+// TestSubscribePanickingBuildLeavesNoResidue covers the seed-derived
+// failure where a panicking Build unwound through Subscribe with the
+// component lock still held, wedging the whole dependency scope.
+func TestSubscribePanickingBuildLeavesNoResidue(t *testing.T) {
+	env := NewEnv(clock.NewVirtual())
+	r := env.NewRegistry("n")
+	r.MustDefine(&Definition{
+		Kind:  "dep",
+		Build: func(*BuildContext) (Handler, error) { return NewStatic(1.0), nil },
+	})
+	r.MustDefine(&Definition{
+		Kind: "top",
+		Deps: []DepRef{Dep(Self(), "dep")},
+		Build: func(*BuildContext) (Handler, error) {
+			panic("boom at build time")
+		},
+	})
+
+	_, err := r.Subscribe("top")
+	if !errors.Is(err, ErrComputePanic) {
+		t.Fatalf("Subscribe error = %v, want ErrComputePanic", err)
+	}
+	// The dependency included for the failed subscription must be
+	// rolled back, and the scope lock released.
+	if r.IsIncluded("dep") {
+		t.Errorf("dep still included after failed subscription (ref leak)")
+	}
+	if err := ScopesUnlocked(r); err != nil {
+		t.Fatalf("scope wedged after panicking Build: %v", err)
+	}
+	if errs := VerifyIntegrity(map[ItemKey]int{}, r); len(errs) > 0 {
+		t.Fatalf("integrity violations: %v", errs)
+	}
+	// The registry must remain fully operational.
+	sub, err := r.Subscribe("dep")
+	if err != nil {
+		t.Fatalf("Subscribe(dep) after failure: %v", err)
+	}
+	sub.Unsubscribe()
+}
+
+// TestPanickingResolveFailsSubscription: a panicking dynamic Resolve
+// hook degrades to a failed subscription, not a wedged lock.
+func TestPanickingResolveFailsSubscription(t *testing.T) {
+	env := NewEnv(clock.NewVirtual())
+	r := env.NewRegistry("n")
+	r.MustDefine(&Definition{
+		Kind:    "item",
+		Resolve: func(*ResolveContext) []DepRef { panic("resolver bug") },
+		Build:   func(*BuildContext) (Handler, error) { return NewStatic(1.0), nil },
+	})
+	_, err := r.Subscribe("item")
+	if !errors.Is(err, ErrComputePanic) {
+		t.Fatalf("Subscribe error = %v, want ErrComputePanic", err)
+	}
+	if err := ScopesUnlocked(r); err != nil {
+		t.Fatalf("scope wedged after panicking Resolve: %v", err)
+	}
+}
+
+// TestPanickingOnDemandComputeSurfacesOnValue: the panic converts to an
+// error on each access; the handler and its locks stay usable.
+func TestPanickingOnDemandComputeSurfacesOnValue(t *testing.T) {
+	env := NewEnv(clock.NewVirtual())
+	r := env.NewRegistry("n")
+	calls := 0
+	r.MustDefine(&Definition{
+		Kind: "od",
+		Build: func(*BuildContext) (Handler, error) {
+			return NewOnDemand(func(clock.Time) (Value, error) {
+				calls++
+				if calls%2 == 1 {
+					panic("intermittent")
+				}
+				return 42.0, nil
+			}), nil
+		},
+	})
+	sub, err := r.Subscribe("od")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Unsubscribe()
+	if _, err := sub.Value(); !errors.Is(err, ErrComputePanic) {
+		t.Fatalf("first Value error = %v, want ErrComputePanic", err)
+	}
+	v, err := sub.Value()
+	if err != nil || v != 42.0 {
+		t.Fatalf("second Value = %v, %v, want 42", v, err)
+	}
+}
+
+// TestPanickingPeriodicTickPublishesError: a panic during a window
+// computation on the pool updater must not kill the worker or wedge
+// the handler; the error is published and the next window recovers.
+func TestPanickingPeriodicTickPublishesError(t *testing.T) {
+	vc := clock.NewVirtual()
+	u := NewPoolUpdater(2)
+	defer u.Stop()
+	env := NewEnv(vc, WithUpdater(u))
+	r := env.NewRegistry("n")
+	r.MustDefine(&Definition{
+		Kind: "p",
+		Build: func(*BuildContext) (Handler, error) {
+			return NewPeriodic(5, func(start, end clock.Time) (Value, error) {
+				if start > 0 && start < 10 {
+					panic("tick bug")
+				}
+				return float64(end), nil
+			}), nil
+		},
+	})
+	sub, err := r.Subscribe("p")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Unsubscribe()
+
+	vc.Advance(5) // window [0,5) computes fine
+	env.Quiesce()
+	vc.Advance(5) // window [5,10) panics
+	env.Quiesce()
+	if _, err := sub.Value(); !errors.Is(err, ErrComputePanic) {
+		t.Fatalf("Value after panicking tick = %v, want ErrComputePanic", err)
+	}
+	vc.Advance(5) // window [10,15) recovers
+	env.Quiesce()
+	v, err := sub.Value()
+	if err != nil || v != 15.0 {
+		t.Fatalf("Value after recovery = %v, %v, want 15", v, err)
+	}
+	if err := ScopesUnlocked(r); err != nil {
+		t.Fatalf("scope wedged: %v", err)
+	}
+}
+
+// TestPanickingTriggeredRefreshDoesNotStopPropagation: one faulty
+// triggered handler must not prevent its siblings from refreshing.
+func TestPanickingTriggeredRefreshDoesNotStopPropagation(t *testing.T) {
+	env := NewEnv(clock.NewVirtual())
+	r := env.NewRegistry("n")
+	r.MustDefine(&Definition{
+		Kind:   "bad",
+		Events: []string{"ev"},
+		Build: func(*BuildContext) (Handler, error) {
+			first := true
+			return NewTriggered(func(clock.Time) (Value, error) {
+				if first { // initial pre-compute succeeds
+					first = false
+					return 0.0, nil
+				}
+				panic("refresh bug")
+			}), nil
+		},
+	})
+	good := 0
+	r.MustDefine(&Definition{
+		Kind:   "good",
+		Events: []string{"ev"},
+		Build: func(*BuildContext) (Handler, error) {
+			return NewTriggered(func(clock.Time) (Value, error) {
+				good++
+				return float64(good), nil
+			}), nil
+		},
+	})
+	sb, err := r.Subscribe("bad")
+	if err != nil {
+		t.Fatalf("Subscribe(bad): %v", err)
+	}
+	defer sb.Unsubscribe()
+	sg, err := r.Subscribe("good")
+	if err != nil {
+		t.Fatalf("Subscribe(good): %v", err)
+	}
+	defer sg.Unsubscribe()
+
+	r.FireEvent("ev")
+	if _, err := sb.Value(); !errors.Is(err, ErrComputePanic) {
+		t.Fatalf("bad Value = %v, want ErrComputePanic", err)
+	}
+	if v, err := sg.Value(); err != nil || v != 2.0 {
+		t.Fatalf("good Value = %v, %v, want 2 (initial + one refresh)", v, err)
+	}
+	if err := ScopesUnlocked(r); err != nil {
+		t.Fatalf("scope wedged: %v", err)
+	}
+}
+
+// TestVerifyIntegrityCleanGraph sanity-checks the checker itself on a
+// healthy cross-registry graph with shared dependencies.
+func TestVerifyIntegrityCleanGraph(t *testing.T) {
+	env := NewEnv(clock.NewVirtual())
+	up := env.NewRegistry("up")
+	down := env.NewRegistry("down")
+	down.SetNeighbors(func() []*Registry { return []*Registry{up} }, nil)
+	up.MustDefine(&Definition{
+		Kind:  "rate",
+		Build: func(*BuildContext) (Handler, error) { return NewStatic(0.1), nil },
+	})
+	down.MustDefine(&Definition{
+		Kind: "cost",
+		Deps: []DepRef{Dep(Input(0), "rate")},
+		Build: func(ctx *BuildContext) (Handler, error) {
+			dep := ctx.Dep(0)
+			return NewOnDemand(func(clock.Time) (Value, error) { return dep.Value() }), nil
+		},
+	})
+	s1, err := down.Subscribe("cost")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	s2, err := up.Subscribe("rate")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	ext := map[ItemKey]int{
+		{Registry: "down", Kind: "cost"}: 1,
+		{Registry: "up", Kind: "rate"}:   1,
+	}
+	if errs := VerifyIntegrity(ext, up, down); len(errs) > 0 {
+		t.Fatalf("integrity violations on clean graph: %v", errs)
+	}
+	s1.Unsubscribe()
+	s2.Unsubscribe()
+	if errs := VerifyIntegrity(map[ItemKey]int{}, up, down); len(errs) > 0 {
+		t.Fatalf("integrity violations after release: %v", errs)
+	}
+	if up.IsIncluded("rate") || down.IsIncluded("cost") {
+		t.Fatal("items still included after all unsubscriptions")
+	}
+}

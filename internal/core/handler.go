@@ -1,10 +1,36 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/clock"
 )
+
+// recoverCompute converts a panic in user-supplied code (compute
+// closures, Definition.Build, Definition.Resolve) into an
+// ErrComputePanic error. Handlers store the error like any other
+// compute failure, so it surfaces at the consumer's next Value() read
+// instead of unwinding through framework locks (a panic escaping a
+// pool worker would kill the process; one escaping a tick would wedge
+// the handler mutex).
+func recoverCompute(what string, errp *error) {
+	if p := recover(); p != nil {
+		*errp = fmt.Errorf("%w: %s: %v", ErrComputePanic, what, p)
+	}
+}
+
+// safeCompute runs an on-demand/triggered compute with panic recovery.
+func safeCompute(fn ComputeFunc, now clock.Time) (v Value, err error) {
+	defer recoverCompute("compute", &err)
+	return fn(now)
+}
+
+// safeWindowCompute runs a periodic window compute with panic recovery.
+func safeWindowCompute(fn WindowComputeFunc, start, end clock.Time) (v Value, err error) {
+	defer recoverCompute("window compute", &err)
+	return fn(start, end)
+}
 
 // Handler maintains the value of one metadata item. There is a 1-to-1
 // relationship between in-use metadata items and handlers (Section
@@ -126,7 +152,7 @@ func (h *onDemandHandler) Value() (Value, error) {
 	stats := h.e.reg.env.Stats()
 	stats.ComputeCalls.Add(1)
 	stats.OnDemandComputes.Add(1)
-	return h.compute(h.e.reg.env.Now())
+	return safeCompute(h.compute, h.e.reg.env.Now())
 }
 
 func (h *onDemandHandler) Mechanism() Mechanism { return OnDemandMechanism }

@@ -76,7 +76,7 @@ func (h *periodicHandler) start(e *entry) error {
 	_, inline := env.Updater().(inlineUpdater)
 	h.async = !inline
 	env.Stats().ComputeCalls.Add(1)
-	v, err := h.compute(now, now)
+	v, err := safeWindowCompute(h.compute, now, now)
 	h.cur.Store(h.snaps.put(v, err))
 	h.mu.Unlock()
 	// The ticker fires on the clock goroutine; the actual update runs
@@ -131,7 +131,7 @@ func (h *periodicHandler) tick(now clock.Time) {
 	// lock only, so independent periodic updates execute in parallel
 	// on the worker pool. The result is published atomically for
 	// lock-free readers.
-	v, err := h.compute(start, now)
+	v, err := safeWindowCompute(h.compute, start, now)
 	h.cur.Store(h.snaps.put(v, err))
 	h.winStart = now
 	h.mu.Unlock()

@@ -304,9 +304,7 @@ func (r *Registry) Mechanism(kind Kind) (Mechanism, bool) {
 func (r *Registry) Subscribe(kind Kind) (*Subscription, error) {
 	need := []*Registry{r}
 	for {
-		sc := r.env.lockScope(need...)
-		e, err := r.includeLocked(kind, make(map[*Registry]map[Kind]bool), &sc)
-		sc.unlock()
+		e, err := r.subscribeAttempt(kind, need)
 		if err == nil {
 			return &Subscription{h: &Handle{e: e}}, nil
 		}
@@ -317,6 +315,17 @@ func (r *Registry) Subscribe(kind Kind) (*Subscription, error) {
 		}
 		return nil, err
 	}
+}
+
+// subscribeAttempt runs one locked inclusion attempt over the widened
+// registry set. The unlock is deferred so that a panic escaping the
+// traversal (framework bug) propagates without wedging component
+// locks; user-code panics in Build/Resolve/compute are converted to
+// errors before they reach this frame.
+func (r *Registry) subscribeAttempt(kind Kind, need []*Registry) (*entry, error) {
+	sc := r.env.lockScope(need...)
+	defer sc.unlock()
+	return r.includeLocked(kind, make(map[*Registry]map[Kind]bool), &sc)
 }
 
 // resolveSelector maps a dependency selector to concrete registries.
@@ -394,9 +403,9 @@ func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool
 
 	r.env.stats.IncludeTraversals.Add(1)
 
-	deps := def.Deps
-	if def.Resolve != nil {
-		deps = def.Resolve(&ResolveContext{reg: r})
+	deps, err := resolveDeps(def, &ResolveContext{reg: r})
+	if err != nil {
+		return nil, fmt.Errorf("resolving deps of %s/%s: %w", r.id, kind, err)
 	}
 
 	e := &entry{
@@ -454,7 +463,7 @@ func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool
 			handleGroups[i] = append(handleGroups[i], &Handle{e: de})
 		}
 	}
-	handler, err := def.Build(&BuildContext{e: e, groups: handleGroups, deps: deps})
+	handler, err := buildHandler(def, &BuildContext{e: e, groups: handleGroups, deps: deps})
 	if err != nil {
 		rollback()
 		return nil, fmt.Errorf("building handler %s/%s: %w", r.id, kind, err)
@@ -499,6 +508,25 @@ func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool
 		return nil, fmt.Errorf("starting handler %s/%s: %w", r.id, kind, err)
 	}
 	return e, nil
+}
+
+// resolveDeps returns the item's dependencies, running a dynamic
+// Resolve hook with panic recovery: a panicking resolver fails the
+// subscription instead of unwinding with component locks held.
+func resolveDeps(def *Definition, rc *ResolveContext) (deps []DepRef, err error) {
+	if def.Resolve == nil {
+		return def.Deps, nil
+	}
+	defer recoverCompute("resolve", &err)
+	return def.Resolve(rc), nil
+}
+
+// buildHandler runs Definition.Build with panic recovery: a panicking
+// Build fails the subscription (rolling back included dependencies)
+// instead of unwinding with component locks held.
+func buildHandler(def *Definition, ctx *BuildContext) (h Handler, err error) {
+	defer recoverCompute("build", &err)
+	return def.Build(ctx)
 }
 
 // unsubscribe releases one reference from a consumer Subscription.

@@ -54,7 +54,7 @@ func (h *triggeredHandler) start(e *entry) error {
 	// first subscription"). Dependencies are already included at this
 	// point, so compute may read them.
 	e.reg.env.Stats().ComputeCalls.Add(1)
-	v, err := h.compute(e.reg.env.Now())
+	v, err := safeCompute(h.compute, e.reg.env.Now())
 	h.cur.Store(h.snaps.put(v, err))
 	return nil
 }
@@ -69,7 +69,7 @@ func (h *triggeredHandler) refresh(now clock.Time) error {
 	stats := h.e.reg.env.Stats()
 	stats.ComputeCalls.Add(1)
 	stats.TriggeredUpdates.Add(1)
-	v, err := h.compute(now)
+	v, err := safeCompute(h.compute, now)
 	h.cur.Store(h.snaps.put(v, err))
 	return err
 }

@@ -29,6 +29,11 @@ var (
 	ErrBadSelector = errors.New("core: dependency selector matched no registry")
 	// ErrNotNumeric reports a Float conversion of a non-numeric value.
 	ErrNotNumeric = errors.New("core: metadata value is not numeric")
+	// ErrComputePanic reports that user-supplied compute, Build, or
+	// Resolve code panicked. The framework converts such panics into
+	// errors surfaced on Value()/Subscribe so a faulty metadata item
+	// cannot wedge component locks or kill updater workers.
+	ErrComputePanic = errors.New("core: metadata computation panicked")
 )
 
 // Float converts a numeric metadata value to float64.

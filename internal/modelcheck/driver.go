@@ -1,0 +1,384 @@
+package modelcheck
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// heldSub is one live external subscription, tracked identically by
+// the driver for the real system and the model.
+type heldSub struct {
+	sub *core.Subscription
+	key ikey
+}
+
+// classify collapses an error to its sentinel class, so the real
+// system's wrapped errors compare against the model's bare sentinels.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrUnknownItem):
+		return "unknown-item"
+	case errors.Is(err, core.ErrItemInUse):
+		return "in-use"
+	case errors.Is(err, core.ErrBadSelector):
+		return "bad-selector"
+	case errors.Is(err, core.ErrCycle):
+		return "cycle"
+	case errors.Is(err, core.ErrUnsubscribed):
+		return "unsubscribed"
+	case errors.Is(err, core.ErrComputePanic):
+		return "compute-panic"
+	default:
+		return "other: " + err.Error()
+	}
+}
+
+// extCounts derives the external-subscription counts VerifyIntegrity
+// checks refcount conservation against.
+func extCounts(wl *Workload, subs []heldSub) map[core.ItemKey]int {
+	ext := make(map[core.ItemKey]int)
+	for _, s := range subs {
+		ext[core.ItemKey{Registry: wl.Regs[s.key.reg].ID, Kind: s.key.kind}]++
+	}
+	return ext
+}
+
+// RunSequential drives one seeded workload through the real system
+// and the reference model in lockstep, comparing the complete
+// observable state — error classes, inclusion sets, reference counts,
+// dependency edges, and exact metadata values — after every single
+// operation, plus the structural invariants (core.VerifyIntegrity)
+// and lock hygiene (core.ScopesUnlocked).
+func RunSequential(t *testing.T, seed int64) {
+	t.Helper()
+	wl := Generate(seed, Config{Ops: 80})
+	sys := NewSystem(wl, nil, nil)
+	model := NewModel(wl)
+	var subs []heldSub
+
+	for i, op := range wl.Ops {
+		at := fmt.Sprintf("seed=%d op#%d (%s)", seed, i, op)
+		switch op.Kind {
+		case OpSubscribe:
+			sub, err := sys.Regs[op.Reg].Subscribe(op.Item)
+			merr := model.Subscribe(op.Reg, op.Item)
+			if classify(err) != classify(merr) {
+				t.Fatalf("%s: real err %q, model err %q", at, classify(err), classify(merr))
+			}
+			if err == nil {
+				subs = append(subs, heldSub{sub: sub, key: ikey{op.Reg, op.Item}})
+			}
+		case OpUnsubscribe:
+			if len(subs) == 0 {
+				continue
+			}
+			idx := int(op.Arg) % len(subs)
+			subs[idx].sub.Unsubscribe()
+			model.Unsubscribe(subs[idx].key)
+			subs = append(subs[:idx], subs[idx+1:]...)
+		case OpAdvance:
+			sys.Clk.Advance(clock.Duration(op.Arg))
+			model.Advance(op.Arg)
+		case OpFireEvent:
+			sys.Regs[op.Reg].FireEvent(op.Event)
+			model.FireEvent(op.Reg, op.Event)
+		case OpNotifyChanged:
+			sys.Regs[op.Reg].NotifyChanged(op.Item)
+			model.NotifyChanged(op.Reg, op.Item)
+		case OpRead:
+			v, err := sys.Regs[op.Reg].Peek(op.Item)
+			mv, ok := model.Value(op.Reg, op.Item)
+			if !ok {
+				if !errors.Is(err, core.ErrUnsubscribed) {
+					t.Fatalf("%s: real (%v, %v), model not included", at, v, err)
+				}
+			} else if err != nil || v != any(mv) {
+				t.Fatalf("%s: real (%v, %v), model %v", at, v, err, mv)
+			}
+		case OpRedefine:
+			spec := wl.Item(op.Reg, op.Item)
+			err := sys.Regs[op.Reg].Define(sys.definition(op.Reg, *spec))
+			if got, want := classify(err), classify(model.Redefine(op.Reg, op.Item)); got != want {
+				t.Fatalf("%s: real err %q, model err %q", at, got, want)
+			}
+		case OpDetachModule:
+			parent := wl.Regs[op.Reg].Parent
+			err := sys.Regs[parent].DetachModule(wl.Regs[op.Reg].ModName)
+			if got, want := classify(err), classify(model.Detach(op.Reg)); got != want {
+				t.Fatalf("%s: real err %q, model err %q", at, got, want)
+			}
+		case OpAttachModule:
+			parent := wl.Regs[op.Reg].Parent
+			sys.Regs[parent].AttachModule(wl.Regs[op.Reg].ModName, sys.Regs[op.Reg])
+			model.Attach(op.Reg)
+		}
+		compareStates(t, at, sys, model, subs)
+	}
+
+	// Teardown: release everything and verify the graph drains clean.
+	for _, s := range subs {
+		s.sub.Unsubscribe()
+		model.Unsubscribe(s.key)
+	}
+	checkClean(t, fmt.Sprintf("seed=%d teardown", seed), sys)
+	checkWindowLogs(t, fmt.Sprintf("seed=%d", seed), sys, nil)
+}
+
+// compareStates checks full observable equivalence between the real
+// system and the model at a quiescent point.
+func compareStates(t *testing.T, at string, sys *System, model *Model, subs []heldSub) {
+	t.Helper()
+	if got, want := sys.Clk.Now(), model.Now(); got != want {
+		t.Fatalf("%s: clock at %d, model at %d", at, got, want)
+	}
+	for ri := range sys.Wl.Regs {
+		reg := sys.Regs[ri]
+		for _, it := range sys.Wl.Regs[ri].Items {
+			inc := reg.IsIncluded(it.Kind)
+			minc := model.IsIncluded(ri, it.Kind)
+			if inc != minc {
+				t.Fatalf("%s: r%d/%s included=%v, model=%v", at, ri, it.Kind, inc, minc)
+			}
+			if !inc {
+				continue
+			}
+			if got, want := reg.Refs(it.Kind), model.Refs(ri, it.Kind); got != want {
+				t.Fatalf("%s: r%d/%s refs=%d, model=%d", at, ri, it.Kind, got, want)
+			}
+			v, err := reg.Peek(it.Kind)
+			mv, _ := model.Value(ri, it.Kind)
+			if err != nil {
+				t.Fatalf("%s: r%d/%s Peek error %v", at, ri, it.Kind, err)
+			}
+			if f, ok := v.(float64); !ok || f != mv {
+				t.Fatalf("%s: r%d/%s value %v (%T), model %v", at, ri, it.Kind, v, v, mv)
+			}
+			compareDeps(t, at, sys, model, ri, it.Kind)
+		}
+	}
+	if errs := core.VerifyIntegrity(extCounts(sys.Wl, subs), sys.BaseRegs()...); len(errs) > 0 {
+		t.Fatalf("%s: integrity violations: %v", at, errs)
+	}
+	if err := core.ScopesUnlocked(sys.Regs...); err != nil {
+		t.Fatalf("%s: %v", at, err)
+	}
+}
+
+// compareDeps checks the live dependency edges of one included item
+// against the model's resolved groups, as multisets.
+func compareDeps(t *testing.T, at string, sys *System, model *Model, ri int, kind core.Kind) {
+	t.Helper()
+	refs, ok := sys.Regs[ri].Dependencies(kind)
+	if !ok {
+		t.Fatalf("%s: r%d/%s included but Dependencies reports not", at, ri, kind)
+	}
+	got := make(map[core.ItemKey]int)
+	for _, d := range refs {
+		got[core.ItemKey{Registry: d.RegistryID, Kind: d.Kind}]++
+	}
+	want := make(map[core.ItemKey]int)
+	it := model.items[ikey{ri, kind}]
+	for _, g := range it.depGroups {
+		for _, dk := range g {
+			want[core.ItemKey{Registry: sys.Wl.Regs[dk.reg].ID, Kind: dk.kind}]++
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: r%d/%s deps %v, model %v", at, ri, kind, got, want)
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("%s: r%d/%s deps %v, model %v", at, ri, kind, got, want)
+		}
+	}
+}
+
+// checkClean verifies a fully-released graph: no included items, no
+// integrity violations, no held component locks, and handler
+// create/remove conservation.
+func checkClean(t *testing.T, at string, sys *System) {
+	t.Helper()
+	for ri := range sys.Wl.Regs {
+		if inc := sys.Regs[ri].Included(); len(inc) > 0 {
+			t.Fatalf("%s: registry %s still includes %v", at, sys.Wl.Regs[ri].ID, inc)
+		}
+	}
+	if errs := core.VerifyIntegrity(map[core.ItemKey]int{}, sys.BaseRegs()...); len(errs) > 0 {
+		t.Fatalf("%s: integrity violations: %v", at, errs)
+	}
+	if err := core.ScopesUnlocked(sys.Regs...); err != nil {
+		t.Fatalf("%s: %v", at, err)
+	}
+	st := sys.Env.Stats().Snapshot()
+	if st.HandlersCreated != st.HandlersRemoved {
+		t.Fatalf("%s: %d handlers created, %d removed (leak)", at, st.HandlersCreated, st.HandlersRemoved)
+	}
+}
+
+// checkWindowLogs verifies the Figure 4 isolation condition on every
+// periodic handler instance: the windows tile time — the initial
+// window is empty at the subscription instant, and each subsequent
+// window begins exactly where the previous ended and strictly
+// advances. Items in skip (fault victims whose panicked windows are
+// unlogged) are exempt.
+func checkWindowLogs(t *testing.T, at string, sys *System, skip map[ikey]bool) {
+	t.Helper()
+	for _, l := range sys.WindowLogs() {
+		if skip[l.Item] {
+			continue
+		}
+		wins := l.Windows()
+		if len(wins) == 0 {
+			t.Errorf("%s: %v: periodic handler computed no initial window", at, l.Item)
+			continue
+		}
+		if wins[0][0] != wins[0][1] {
+			t.Errorf("%s: %v: initial window %v not empty", at, l.Item, wins[0])
+		}
+		for i := 1; i < len(wins); i++ {
+			if wins[i][0] != wins[i-1][1] {
+				t.Errorf("%s: %v: window %d %v does not continue %v (gap or overlap)",
+					at, l.Item, i, wins[i], wins[i-1])
+			}
+			if wins[i][1] <= wins[i][0] {
+				t.Errorf("%s: %v: window %d %v does not advance", at, l.Item, i, wins[i])
+			}
+		}
+	}
+}
+
+// RunConcurrent drives one seeded workload through the real system
+// from `workers` goroutines over a pool updater, then checks the
+// quiescent state: the op mix is commutative (all subscriptions are
+// valid and module/definition state is fixed), so the final structure
+// must equal the model's closure of the surviving subscriptions
+// regardless of interleaving. Values of periodic and triggered items
+// are schedule-dependent and are checked for integrity (tiling,
+// readability), not for exact equality.
+func RunConcurrent(t *testing.T, seed int64, workers int) {
+	t.Helper()
+	wl := Generate(seed, Config{Ops: 40 * workers, Concurrent: true})
+	u := core.NewPoolUpdater(workers)
+	defer u.Stop()
+	sys := NewSystem(wl, u, nil)
+
+	// Partition the script: clock advances all go to worker 0 (the
+	// virtual clock forbids re-entrant advancement), the rest round-
+	// robin.
+	scripts := make([][]Op, workers)
+	rr := 0
+	for _, op := range wl.Ops {
+		w := 0
+		if op.Kind != OpAdvance {
+			w = rr % workers
+			rr++
+		}
+		scripts[w] = append(scripts[w], op)
+	}
+
+	survivors := make([][]heldSub, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var subs []heldSub
+			for _, op := range scripts[w] {
+				switch op.Kind {
+				case OpSubscribe:
+					sub, err := sys.Regs[op.Reg].Subscribe(op.Item)
+					if err != nil {
+						t.Errorf("seed=%d worker %d: %s failed: %v", seed, w, op, err)
+						continue
+					}
+					subs = append(subs, heldSub{sub: sub, key: ikey{op.Reg, op.Item}})
+				case OpUnsubscribe:
+					if len(subs) == 0 {
+						continue
+					}
+					idx := int(op.Arg) % len(subs)
+					subs[idx].sub.Unsubscribe()
+					subs = append(subs[:idx], subs[idx+1:]...)
+				case OpAdvance:
+					sys.Clk.Advance(clock.Duration(op.Arg))
+				case OpFireEvent:
+					sys.Regs[op.Reg].FireEvent(op.Event)
+				case OpNotifyChanged:
+					sys.Regs[op.Reg].NotifyChanged(op.Item)
+				case OpRead:
+					// Mid-run reads must never observe a corrupt
+					// snapshot: a clean float64 or ErrUnsubscribed.
+					v, err := sys.Regs[op.Reg].Peek(op.Item)
+					if err != nil {
+						if !errors.Is(err, core.ErrUnsubscribed) {
+							t.Errorf("seed=%d worker %d: %s: %v", seed, w, op, err)
+						}
+						continue
+					}
+					if _, ok := v.(float64); !ok {
+						t.Errorf("seed=%d worker %d: %s: corrupt value %v (%T)", seed, w, op, v, v)
+					}
+				}
+			}
+			survivors[w] = subs
+		}(w)
+	}
+	wg.Wait()
+	sys.Env.Quiesce()
+
+	var subs []heldSub
+	for _, s := range survivors {
+		subs = append(subs, s...)
+	}
+	at := fmt.Sprintf("seed=%d quiescent", seed)
+
+	// Quiescent structural equivalence: replay only the surviving
+	// subscriptions into a fresh model; inclusion sets and refcounts
+	// must match exactly.
+	model := NewModel(wl)
+	for _, s := range subs {
+		if err := model.Subscribe(s.key.reg, s.key.kind); err != nil {
+			t.Fatalf("%s: model rejects surviving subscription %v: %v", at, s.key, err)
+		}
+	}
+	for ri := range wl.Regs {
+		reg := sys.Regs[ri]
+		for _, it := range wl.Regs[ri].Items {
+			inc, minc := reg.IsIncluded(it.Kind), model.IsIncluded(ri, it.Kind)
+			if inc != minc {
+				t.Fatalf("%s: r%d/%s included=%v, model=%v", at, ri, it.Kind, inc, minc)
+			}
+			if !inc {
+				continue
+			}
+			if got, want := reg.Refs(it.Kind), model.Refs(ri, it.Kind); got != want {
+				t.Fatalf("%s: r%d/%s refs=%d, model=%d", at, ri, it.Kind, got, want)
+			}
+			if v, err := reg.Peek(it.Kind); err != nil {
+				t.Fatalf("%s: r%d/%s Peek error %v", at, ri, it.Kind, err)
+			} else if _, ok := v.(float64); !ok {
+				t.Fatalf("%s: r%d/%s corrupt value %v (%T)", at, ri, it.Kind, v, v)
+			}
+			compareDeps(t, at, sys, model, ri, it.Kind)
+		}
+	}
+	if errs := core.VerifyIntegrity(extCounts(wl, subs), sys.BaseRegs()...); len(errs) > 0 {
+		t.Fatalf("%s: integrity violations: %v", at, errs)
+	}
+	if err := core.ScopesUnlocked(sys.Regs...); err != nil {
+		t.Fatalf("%s: %v", at, err)
+	}
+	checkWindowLogs(t, fmt.Sprintf("seed=%d", seed), sys, nil)
+
+	for _, s := range subs {
+		s.sub.Unsubscribe()
+	}
+	checkClean(t, fmt.Sprintf("seed=%d teardown", seed), sys)
+}

@@ -1,0 +1,266 @@
+package modelcheck
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// Fault-injection scenarios. Each runs a seeded workload topology with
+// one deliberately broken item and verifies the degradation contract:
+// failures surface as errors on Subscribe/Value, never as leaked
+// references, wedged component locks, or corrupted snapshots.
+
+// closureOf returns the transitive dependency closure of one item
+// (including itself), resolved with every module attached.
+func closureOf(wl *Workload, start ikey) map[ikey]bool {
+	resolver := NewModel(wl) // empty model: used only for selector resolution
+	seen := make(map[ikey]bool)
+	var walk func(k ikey)
+	walk = func(k ikey) {
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		for _, d := range wl.Item(k.reg, k.kind).Deps {
+			for _, tr := range resolver.resolve(k.reg, d) {
+				walk(ikey{tr, d.Kind})
+			}
+		}
+	}
+	walk(start)
+	return seen
+}
+
+// pickItem draws a random workload item.
+func pickItem(wl *Workload, rng *rand.Rand) ikey {
+	ri := rng.Intn(len(wl.Regs))
+	return ikey{ri, wl.Regs[ri].Items[rng.Intn(len(wl.Regs[ri].Items))].Kind}
+}
+
+// pickPeriodic draws a random periodic item; if the seed generated
+// none, it deterministically converts the first item into one.
+func pickPeriodic(wl *Workload, rng *rand.Rand) ikey {
+	var ps []ikey
+	for ri := range wl.Regs {
+		for _, it := range wl.Regs[ri].Items {
+			if it.Mech == core.PeriodicMechanism {
+				ps = append(ps, ikey{ri, it.Kind})
+			}
+		}
+	}
+	if len(ps) == 0 {
+		it := &wl.Regs[0].Items[0]
+		it.Mech = core.PeriodicMechanism
+		it.Window = 5
+		it.Deps = nil
+		return ikey{0, it.Kind}
+	}
+	return ps[rng.Intn(len(ps))]
+}
+
+// RunFaultBuild subscribes to every item of a seeded topology while
+// one victim item's Build panics (panicMode) or errors. Subscriptions
+// whose dependency closure contains the victim must fail — with
+// ErrComputePanic in panic mode — rolling back mid-traversal without
+// residue; all others must succeed. Invariants are checked after every
+// attempt.
+func RunFaultBuild(t *testing.T, seed int64, panicMode bool) {
+	t.Helper()
+	wl := Generate(seed, Config{Ops: 1})
+	rng := rand.New(rand.NewSource(seed))
+	victim := pickItem(wl, rng)
+	faults := &Faults{}
+	if panicMode {
+		faults.PanicBuild = map[ikey]bool{victim: true}
+	} else {
+		faults.FailBuild = map[ikey]bool{victim: true}
+	}
+	sys := NewSystem(wl, nil, faults)
+
+	var subs []heldSub
+	for ri := range wl.Regs {
+		for _, it := range wl.Regs[ri].Items {
+			k := ikey{ri, it.Kind}
+			at := fmt.Sprintf("seed=%d subscribe %v (victim %v)", seed, k, victim)
+			sub, err := sys.Regs[ri].Subscribe(it.Kind)
+			if closureOf(wl, k)[victim] {
+				if err == nil {
+					t.Fatalf("%s: succeeded, want failure through faulty Build", at)
+				}
+				if panicMode && !errors.Is(err, core.ErrComputePanic) {
+					t.Fatalf("%s: error %v, want ErrComputePanic", at, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("%s: failed: %v", at, err)
+				}
+				subs = append(subs, heldSub{sub: sub, key: k})
+			}
+			if errs := core.VerifyIntegrity(extCounts(wl, subs), sys.BaseRegs()...); len(errs) > 0 {
+				t.Fatalf("%s: integrity violations: %v", at, errs)
+			}
+			if err := core.ScopesUnlocked(sys.Regs...); err != nil {
+				t.Fatalf("%s: %v", at, err)
+			}
+			if inc := sys.Regs[victim.reg].IsIncluded(victim.kind); inc {
+				t.Fatalf("%s: faulty victim became included", at)
+			}
+		}
+	}
+	for _, s := range subs {
+		s.sub.Unsubscribe()
+	}
+	checkClean(t, fmt.Sprintf("seed=%d teardown", seed), sys)
+}
+
+// RunFaultPeriodicPanic runs a pool-updater system in which one
+// periodic item panics on every window computation after the first.
+// The panic must surface as ErrComputePanic on reads of the victim
+// while the rest of the graph keeps updating, with no wedged locks, no
+// dead workers (later windows still execute — and still panic), and a
+// clean teardown.
+func RunFaultPeriodicPanic(t *testing.T, seed int64) {
+	t.Helper()
+	wl := Generate(seed, Config{Ops: 1})
+	rng := rand.New(rand.NewSource(seed))
+	victim := pickPeriodic(wl, rng)
+	u := core.NewPoolUpdater(4)
+	defer u.Stop()
+	sys := NewSystem(wl, u, &Faults{PanicPeriodic: map[ikey]bool{victim: true}})
+
+	subs := subscribeAll(t, seed, wl, sys)
+	for step := 0; step < 6; step++ {
+		sys.Clk.Advance(5)
+		sys.Env.Quiesce()
+	}
+	at := fmt.Sprintf("seed=%d after ticks (victim %v)", seed, victim)
+	if _, err := sys.Regs[victim.reg].Peek(victim.kind); !errors.Is(err, core.ErrComputePanic) {
+		t.Fatalf("%s: victim Peek error %v, want ErrComputePanic", at, err)
+	}
+	if errs := core.VerifyIntegrity(extCounts(wl, subs), sys.BaseRegs()...); len(errs) > 0 {
+		t.Fatalf("%s: integrity violations: %v", at, errs)
+	}
+	if err := core.ScopesUnlocked(sys.Regs...); err != nil {
+		t.Fatalf("%s: %v", at, err)
+	}
+	// Non-victim periodic items must still satisfy the isolation
+	// condition; the victim's panicked windows are unlogged by design.
+	checkWindowLogs(t, at, sys, map[ikey]bool{victim: true})
+
+	for _, s := range subs {
+		s.sub.Unsubscribe()
+	}
+	checkClean(t, fmt.Sprintf("seed=%d teardown", seed), sys)
+}
+
+// RunFaultSlowPeriodic blocks one periodic item's window computation
+// on a pool worker while the clock advances past several boundaries,
+// then releases it. The late computation must clamp its window to the
+// clock's position, the queued stale ticks must be dropped rather than
+// published out of order, and the window log must still tile time.
+func RunFaultSlowPeriodic(t *testing.T, seed int64) {
+	t.Helper()
+	wl := Generate(seed, Config{Ops: 1})
+	rng := rand.New(rand.NewSource(seed))
+	victim := pickPeriodic(wl, rng)
+	release := make(chan struct{})
+	u := core.NewPoolUpdater(4)
+	defer u.Stop()
+	sys := NewSystem(wl, u, &Faults{BlockPeriodic: map[ikey]chan struct{}{victim: release}})
+
+	subs := subscribeAll(t, seed, wl, sys)
+	w := wl.Item(victim.reg, victim.kind).Window
+	// Three victim ticks queue up while the computation blocks (at
+	// most three of the four workers wedge on the handler); the first
+	// to run covers the whole elapsed span, the others are stale.
+	sys.Clk.Advance(3 * w)
+	close(release)
+	sys.Env.Quiesce()
+	sys.Clk.Advance(2 * w)
+	sys.Env.Quiesce()
+
+	at := fmt.Sprintf("seed=%d slow updater (victim %v, window %d)", seed, victim, w)
+	checkWindowLogs(t, at, sys, nil)
+	now := sys.Clk.Now()
+	for _, l := range sys.WindowLogs() {
+		wins := l.Windows()
+		if n := len(wins); n > 0 && wins[n-1][1] > now {
+			t.Fatalf("%s: %v: window %v ends after the clock (%d)", at, l.Item, wins[n-1], now)
+		}
+	}
+	if v, err := sys.Regs[victim.reg].Peek(victim.kind); err != nil {
+		t.Fatalf("%s: victim Peek error %v", at, err)
+	} else if _, ok := v.(float64); !ok {
+		t.Fatalf("%s: victim value %v (%T), want float64", at, v, v)
+	}
+	if errs := core.VerifyIntegrity(extCounts(wl, subs), sys.BaseRegs()...); len(errs) > 0 {
+		t.Fatalf("%s: integrity violations: %v", at, errs)
+	}
+	if err := core.ScopesUnlocked(sys.Regs...); err != nil {
+		t.Fatalf("%s: %v", at, err)
+	}
+	for _, s := range subs {
+		s.sub.Unsubscribe()
+	}
+	checkClean(t, fmt.Sprintf("seed=%d teardown", seed), sys)
+}
+
+// RunClockSkew drives the full topology through irregular clock jumps
+// — fine steps, coarse skips, and huge skews crossing hundreds of
+// window boundaries at once — comparing against the model after each
+// jump and verifying the window tiling at the end.
+func RunClockSkew(t *testing.T, seed int64) {
+	t.Helper()
+	wl := Generate(seed, Config{Ops: 1})
+	sys := NewSystem(wl, nil, nil)
+	model := NewModel(wl)
+	subs := subscribeAll(t, seed, wl, sys)
+	for _, s := range subs {
+		if err := model.Subscribe(s.key.reg, s.key.kind); err != nil {
+			t.Fatalf("seed=%d: model rejects %v: %v", seed, s.key, err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for i := 0; i < 40; i++ {
+		var d int64
+		switch rng.Intn(3) {
+		case 0:
+			d = int64(1 + rng.Intn(3))
+		case 1:
+			d = int64(50 + rng.Intn(500))
+		default:
+			d = int64(997 + rng.Intn(2000))
+		}
+		sys.Clk.Advance(clock.Duration(d))
+		model.Advance(d)
+		compareStates(t, fmt.Sprintf("seed=%d skew#%d (+%d)", seed, i, d), sys, model, subs)
+	}
+	for _, s := range subs {
+		s.sub.Unsubscribe()
+	}
+	checkClean(t, fmt.Sprintf("seed=%d teardown", seed), sys)
+	checkWindowLogs(t, fmt.Sprintf("seed=%d", seed), sys, nil)
+}
+
+// subscribeAll subscribes to every item of the workload, failing the
+// test on any error, and returns the held subscriptions.
+func subscribeAll(t *testing.T, seed int64, wl *Workload, sys *System) []heldSub {
+	t.Helper()
+	var subs []heldSub
+	for ri := range wl.Regs {
+		for _, it := range wl.Regs[ri].Items {
+			sub, err := sys.Regs[ri].Subscribe(it.Kind)
+			if err != nil {
+				t.Fatalf("seed=%d: subscribe r%d/%s: %v", seed, ri, it.Kind, err)
+			}
+			subs = append(subs, heldSub{sub: sub, key: ikey{ri, it.Kind}})
+		}
+	}
+	return subs
+}

@@ -1,0 +1,56 @@
+package modelcheck
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFaultInjection exercises the degradation contract on seeded
+// topologies: panicking or failing Build calls mid-traversal,
+// panicking periodic computations on the worker pool, slow updaters
+// outliving their window, and clock skew across many window
+// boundaries. Reproduce one scenario with e.g.:
+//
+//	go test -race ./internal/modelcheck -run 'TestFaultInjection/PanickingBuild/seed=3$'
+func TestFaultInjection(t *testing.T) {
+	t.Run("PanickingBuild", func(t *testing.T) {
+		for seed := int64(1); seed <= 16; seed++ {
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				RunFaultBuild(t, seed, true)
+			})
+		}
+	})
+	t.Run("FailingBuild", func(t *testing.T) {
+		for seed := int64(1); seed <= 16; seed++ {
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				RunFaultBuild(t, seed, false)
+			})
+		}
+	})
+	t.Run("PanickingPeriodic", func(t *testing.T) {
+		for seed := int64(1); seed <= 8; seed++ {
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				RunFaultPeriodicPanic(t, seed)
+			})
+		}
+	})
+	t.Run("SlowPeriodic", func(t *testing.T) {
+		for seed := int64(1); seed <= 8; seed++ {
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				RunFaultSlowPeriodic(t, seed)
+			})
+		}
+	})
+	t.Run("ClockSkew", func(t *testing.T) {
+		for seed := int64(1); seed <= 16; seed++ {
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				RunClockSkew(t, seed)
+			})
+		}
+	})
+}

@@ -1,0 +1,444 @@
+package modelcheck
+
+import (
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// Model is the naive sequential reference implementation of the
+// paper's metadata semantics: single-threaded, no locks, no handler
+// objects — just maps and the refcounting/propagation rules spelled
+// out in DESIGN.md. The drivers run the real internal/core against it
+// and fail on any divergence.
+//
+// The model mirrors core operation by operation:
+//
+//   - include/release mirror includeLocked/releaseLocked: depth-first
+//     inclusion with rollback on failure, sharing via reference
+//     counts, recursive release when a count reaches zero;
+//   - Advance mirrors the virtual clock + inline ticker: periodic
+//     items fire at exact window boundaries in (time, tiebreak) order,
+//     publish the window value, then propagate;
+//   - FireEvent/NotifyChanged mirror refreshClosureLocked: expansion
+//     through triggered handlers only, refresh in topological order.
+//
+// Value semantics are shared with system.go (same float64 operations
+// in the same order), so the drivers compare values exactly.
+type Model struct {
+	wl       *Workload
+	now      clock.Time
+	attached []bool // per registry index; modules start attached
+	items    map[ikey]*mItem
+
+	// cseq mirrors Env.seq (entry creation order, the tie-break of
+	// trigger propagation); eseq mirrors the virtual clock's event
+	// sequence (the tie-break between ticks at one instant). Both
+	// orders are observable: a triggered item reading a periodic
+	// value through an on-demand intermediary sees the value as of
+	// its own refresh, so same-instant processing order matters.
+	cseq uint64
+	eseq uint64
+}
+
+// mItem is the model's entry: one included item with its resolved
+// dependency groups and bookkeeping, mirroring core's entry struct.
+type mItem struct {
+	spec       *ItemSpec
+	key        ikey
+	refs       int
+	depGroups  [][]ikey
+	dependents map[ikey]int
+
+	val      float64    // published value (static, periodic, triggered)
+	winStart clock.Time // periodic: current window start
+	nextFire clock.Time // periodic: next boundary
+	cseq     uint64     // creation order (mirrors entry.seq)
+	evSeq    uint64     // periodic: pending tick's event sequence
+}
+
+// NewModel returns the reference model for a workload, at time 0 with
+// all modules attached (matching NewSystem).
+func NewModel(wl *Workload) *Model {
+	m := &Model{
+		wl:       wl,
+		items:    make(map[ikey]*mItem),
+		attached: make([]bool, len(wl.Regs)),
+	}
+	for i, r := range wl.Regs {
+		if r.Parent >= 0 {
+			m.attached[i] = true
+		}
+	}
+	return m
+}
+
+// Now returns the model's clock position.
+func (m *Model) Now() clock.Time { return m.now }
+
+// IsIncluded reports whether the item is included.
+func (m *Model) IsIncluded(ri int, kind core.Kind) bool {
+	_, ok := m.items[ikey{ri, kind}]
+	return ok
+}
+
+// Refs returns the item's reference count (0 if not included).
+func (m *Model) Refs(ri int, kind core.Kind) int {
+	if it, ok := m.items[ikey{ri, kind}]; ok {
+		return it.refs
+	}
+	return 0
+}
+
+// Included returns the included kinds of registry ri, sorted.
+func (m *Model) Included(ri int) []core.Kind {
+	var out []core.Kind
+	for k := range m.items {
+		if k.reg == ri {
+			out = append(out, k.kind)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// resolve maps a dependency spec of registry ri to target registry
+// indices, mirroring Registry.resolveSelector.
+func (m *Model) resolve(ri int, d DepSpec) []int {
+	spec := &m.wl.Regs[ri]
+	switch d.Sel {
+	case SelSelf:
+		return []int{ri}
+	case SelInput:
+		if d.Index < 0 || d.Index >= len(spec.Inputs) {
+			return nil
+		}
+		return []int{spec.Inputs[d.Index]}
+	case SelEachInput:
+		return append([]int(nil), spec.Inputs...)
+	case SelModule:
+		for mi := range m.wl.Regs {
+			mr := &m.wl.Regs[mi]
+			if mr.Parent == ri && mr.ModName == d.Name && m.attached[mi] {
+				return []int{mi}
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// Subscribe mirrors Registry.Subscribe: include the item (depth-first
+// over dependencies, sharing what is already included) and take one
+// external reference. The returned error is the sentinel the real
+// system's error wraps, for class comparison.
+func (m *Model) Subscribe(ri int, kind core.Kind) error {
+	_, err := m.include(ri, kind)
+	return err
+}
+
+func (m *Model) include(ri int, kind core.Kind) (ikey, error) {
+	k := ikey{ri, kind}
+	if it, ok := m.items[k]; ok {
+		it.refs++
+		return k, nil
+	}
+	spec := m.wl.Item(ri, kind)
+	if spec == nil {
+		return k, core.ErrUnknownItem
+	}
+	// The real system numbers the entry before including dependencies
+	// (and a failed inclusion still consumes the number).
+	cs := m.cseq
+	m.cseq++
+
+	// Include dependencies depth-first, rolling back on failure so a
+	// failed subscription leaves no residue (mirrors includeLocked).
+	var included []ikey
+	rollback := func() {
+		for i := len(included) - 1; i >= 0; i-- {
+			m.release(included[i])
+		}
+	}
+	groups := make([][]ikey, len(spec.Deps))
+	for i, d := range spec.Deps {
+		regs := m.resolve(ri, d)
+		if len(regs) == 0 && !d.Optional {
+			rollback()
+			return k, core.ErrBadSelector
+		}
+		for _, tr := range regs {
+			dk, err := m.include(tr, d.Kind)
+			if err != nil {
+				rollback()
+				return k, err
+			}
+			included = append(included, dk)
+			groups[i] = append(groups[i], dk)
+		}
+	}
+
+	it := &mItem{spec: spec, key: k, refs: 1, cseq: cs, depGroups: groups, dependents: make(map[ikey]int)}
+	m.items[k] = it
+	for _, g := range groups {
+		for _, dk := range g {
+			m.items[dk].dependents[k]++
+		}
+	}
+
+	// Handler start: the initial value per the shared semantics.
+	switch spec.Mech {
+	case core.StaticMechanism:
+		it.val = spec.Base
+	case core.PeriodicMechanism:
+		it.winStart = m.now
+		it.nextFire = m.now.Add(spec.Window)
+		it.evSeq = m.eseq // the ticker schedules the first tick now
+		m.eseq++
+		it.val = encodeWindow(m.now, m.now)
+	case core.TriggeredMechanism:
+		it.val = spec.Base + m.sumDeps(it) + 0.01*float64(m.now)
+	}
+	return k, nil
+}
+
+// Unsubscribe releases one external reference of an included item.
+func (m *Model) Unsubscribe(k ikey) { m.release(k) }
+
+// release mirrors entry.releaseLocked: decrement, and on zero remove
+// the item and recursively release each dependency handle.
+func (m *Model) release(k ikey) {
+	it := m.items[k]
+	it.refs--
+	if it.refs > 0 {
+		return
+	}
+	delete(m.items, k)
+	for _, g := range it.depGroups {
+		for _, dk := range g {
+			d := m.items[dk]
+			if d.dependents[k]--; d.dependents[k] <= 0 {
+				delete(d.dependents, k)
+			}
+			m.release(dk)
+		}
+	}
+}
+
+// Value returns the current value of an included item, mirroring
+// Registry.Peek under the shared semantics. ok=false means the real
+// system must report ErrUnsubscribed.
+func (m *Model) Value(ri int, kind core.Kind) (float64, bool) {
+	it, ok := m.items[ikey{ri, kind}]
+	if !ok {
+		return 0, false
+	}
+	return m.value(it), true
+}
+
+// value evaluates one included item: published value for static,
+// periodic and triggered items; recomputation at the current time for
+// on-demand items (which compute on every access).
+func (m *Model) value(it *mItem) float64 {
+	if it.spec.Mech == core.OnDemandMechanism {
+		return it.spec.Base + m.sumDeps(it) + 0.001*float64(m.now)
+	}
+	return it.val
+}
+
+// sumDeps folds the dependency values in declaration order — the same
+// float64 additions in the same order as system.go's sumDeps, so the
+// results compare exactly.
+func (m *Model) sumDeps(it *mItem) float64 {
+	total := 0.0
+	for _, g := range it.depGroups {
+		for _, dk := range g {
+			total += m.value(m.items[dk])
+		}
+	}
+	return total
+}
+
+// Advance mirrors Virtual.Advance with the inline updater: periodic
+// items fire at exact window boundaries in (time, event-sequence)
+// order — the virtual clock's heap order — each fire publishing the
+// window value, rescheduling (which assigns the next event sequence),
+// and propagating to dependents.
+func (m *Model) Advance(d int64) {
+	target := m.now.Add(clock.Duration(d))
+	for {
+		var best *mItem
+		for _, it := range m.items {
+			if it.spec.Mech != core.PeriodicMechanism || it.nextFire > target {
+				continue
+			}
+			if best == nil || it.nextFire < best.nextFire ||
+				(it.nextFire == best.nextFire && it.evSeq < best.evSeq) {
+				best = it
+			}
+		}
+		if best == nil {
+			break
+		}
+		if best.nextFire > m.now {
+			m.now = best.nextFire
+		}
+		best.val = encodeWindow(best.winStart, m.now)
+		best.winStart = m.now
+		best.nextFire = m.now.Add(best.spec.Window)
+		best.evSeq = m.eseq // the ticker reschedules after the tick
+		m.eseq++
+		m.propagate(dependentKeys(best))
+	}
+	if target > m.now {
+		m.now = target
+	}
+}
+
+// FireEvent mirrors Registry.FireEvent: refresh the closure of the
+// registry's items registered for the event.
+func (m *Model) FireEvent(ri int, name string) {
+	var seeds []ikey
+	for k, it := range m.items {
+		if k.reg != ri {
+			continue
+		}
+		for _, ev := range it.spec.Events {
+			if ev == name {
+				seeds = append(seeds, k)
+				break
+			}
+		}
+	}
+	m.propagate(seeds)
+}
+
+// NotifyChanged mirrors Registry.NotifyChanged: refresh the closure of
+// the item's dependents. No-op if the item is not included.
+func (m *Model) NotifyChanged(ri int, kind core.Kind) {
+	it, ok := m.items[ikey{ri, kind}]
+	if !ok {
+		return
+	}
+	m.propagate(dependentKeys(it))
+}
+
+// propagate mirrors refreshClosureLocked: the affected set expands
+// from the seeds through triggered items only (on-demand and periodic
+// dependents absorb the notification), then refreshes in topological
+// order of the dependency graph so every item recomputes after all of
+// its updated dependencies.
+func (m *Model) propagate(seeds []ikey) {
+	affected := make(map[ikey]bool)
+	var expand func(k ikey)
+	expand = func(k ikey) {
+		if affected[k] {
+			return
+		}
+		it := m.items[k]
+		if it.spec.Mech != core.TriggeredMechanism {
+			return
+		}
+		affected[k] = true
+		for d := range it.dependents {
+			expand(d)
+		}
+	}
+	for _, s := range seeds {
+		expand(s)
+	}
+	if len(affected) == 0 {
+		return
+	}
+
+	// Kahn over the affected subgraph, counting one in-edge per
+	// declared dependency occurrence (matching core's multiplicity
+	// accounting). Ready ties break by creation sequence, exactly as
+	// refreshClosureLocked does: the order is observable through
+	// on-demand intermediaries read during refresh.
+	indeg := make(map[ikey]int, len(affected))
+	for k := range affected {
+		for _, g := range m.items[k].depGroups {
+			for _, dk := range g {
+				if affected[dk] {
+					indeg[k]++
+				}
+			}
+		}
+	}
+	var ready []ikey
+	for k := range affected {
+		if indeg[k] == 0 {
+			ready = append(ready, k)
+		}
+	}
+	m.sortByCreation(ready)
+	for len(ready) > 0 {
+		k := ready[0]
+		ready = ready[1:]
+		it := m.items[k]
+		it.val = it.spec.Base + m.sumDeps(it) + 0.01*float64(m.now)
+		var next []ikey
+		for d := range it.dependents {
+			if !affected[d] {
+				continue
+			}
+			edges := 0
+			for _, g := range m.items[d].depGroups {
+				for _, dk := range g {
+					if dk == k {
+						edges++
+					}
+				}
+			}
+			indeg[d] -= edges
+			if indeg[d] == 0 {
+				next = append(next, d)
+			}
+		}
+		m.sortByCreation(next)
+		ready = append(ready, next...)
+	}
+}
+
+// Redefine mirrors Registry.Define of an identical definition: an
+// error while the item is in use, otherwise no observable change.
+func (m *Model) Redefine(ri int, kind core.Kind) error {
+	if _, ok := m.items[ikey{ri, kind}]; ok {
+		return core.ErrItemInUse
+	}
+	return nil
+}
+
+// Detach mirrors Registry.DetachModule on the module registry mi: nil
+// if not attached, an error while the module has included items.
+func (m *Model) Detach(mi int) error {
+	if !m.attached[mi] {
+		return nil
+	}
+	for k := range m.items {
+		if k.reg == mi {
+			return core.ErrItemInUse
+		}
+	}
+	m.attached[mi] = false
+	return nil
+}
+
+// Attach mirrors Registry.AttachModule: unconditional.
+func (m *Model) Attach(mi int) { m.attached[mi] = true }
+
+func dependentKeys(it *mItem) []ikey {
+	out := make([]ikey, 0, len(it.dependents))
+	for d := range it.dependents {
+		out = append(out, d)
+	}
+	return out
+}
+
+// sortByCreation orders keys by their items' creation sequence,
+// mirroring core's sortEntries.
+func (m *Model) sortByCreation(ks []ikey) {
+	sort.Slice(ks, func(i, j int) bool { return m.items[ks[i]].cseq < m.items[ks[j]].cseq })
+}

@@ -1,0 +1,23 @@
+package modelcheck
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestConcurrentStress applies seeded workloads from four goroutines
+// over a pool updater (run it with -race), then checks quiescent-state
+// equivalence against the model plus the standing invariants: refcount
+// conservation, inclusion closure, handler lifecycle, union-find scope
+// consistency, unwedged component locks, and periodic window tiling.
+// Reproduce one schedule's workload with:
+//
+//	go test -race ./internal/modelcheck -run 'TestConcurrentStress/seed=7$'
+func TestConcurrentStress(t *testing.T) {
+	for seed := int64(1); seed <= 48; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunConcurrent(t, seed, 4)
+		})
+	}
+}

@@ -1,0 +1,256 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// ikey identifies one workload item: the registry's index in
+// Workload.Regs plus the item kind.
+type ikey struct {
+	reg  int
+	kind core.Kind
+}
+
+func (k ikey) String() string { return fmt.Sprintf("r%d/%s", k.reg, k.kind) }
+
+// Faults configures the fault-injection layer of a System. Each map is
+// keyed by workload item; nil maps inject nothing.
+type Faults struct {
+	// PanicBuild makes the item's Build panic.
+	PanicBuild map[ikey]bool
+	// FailBuild makes the item's Build return an error.
+	FailBuild map[ikey]bool
+	// PanicPeriodic makes every periodic window computation of the
+	// item after the initial one panic.
+	PanicPeriodic map[ikey]bool
+	// BlockPeriodic makes periodic window computations of the item
+	// block until the channel is closed (the "slow updater that
+	// outlives its window" scenario; only meaningful on a pool
+	// updater, where computations run off the clock goroutine).
+	BlockPeriodic map[ikey]chan struct{}
+}
+
+func (f *Faults) panicBuild(k ikey) bool    { return f != nil && f.PanicBuild[k] }
+func (f *Faults) failBuild(k ikey) bool     { return f != nil && f.FailBuild[k] }
+func (f *Faults) panicPeriodic(k ikey) bool { return f != nil && f.PanicPeriodic[k] }
+func (f *Faults) blockPeriodic(k ikey) chan struct{} {
+	if f == nil {
+		return nil
+	}
+	return f.BlockPeriodic[k]
+}
+
+// WindowLog records the window sequence one periodic handler instance
+// computed. The Figure 4 isolation condition requires the windows to
+// tile time: start at the subscription instant with an empty window,
+// then each window begins exactly where the previous ended.
+type WindowLog struct {
+	Item ikey
+
+	mu   sync.Mutex
+	wins [][2]clock.Time
+}
+
+func (l *WindowLog) add(start, end clock.Time) {
+	l.mu.Lock()
+	l.wins = append(l.wins, [2]clock.Time{start, end})
+	l.mu.Unlock()
+}
+
+// Windows returns a copy of the recorded window sequence.
+func (l *WindowLog) Windows() [][2]clock.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][2]clock.Time, len(l.wins))
+	copy(out, l.wins)
+	return out
+}
+
+// System is the real implementation under test, instantiated from a
+// workload: one core.Registry per RegSpec, wired and populated with
+// deterministic item definitions whose value semantics the reference
+// model mirrors exactly.
+type System struct {
+	Wl   *Workload
+	Clk  *clock.Virtual
+	Env  *core.Env
+	Regs []*core.Registry
+
+	faults *Faults
+
+	mu   sync.Mutex
+	logs []*WindowLog
+}
+
+// NewSystem builds the system under test. updater may be nil for the
+// deterministic inline updater; pass a pool updater for concurrent
+// stress. faults may be nil.
+func NewSystem(wl *Workload, updater core.Updater, faults *Faults) *System {
+	vc := clock.NewVirtual()
+	var opts []core.EnvOption
+	if updater != nil {
+		opts = append(opts, core.WithUpdater(updater))
+	}
+	s := &System{Wl: wl, Clk: vc, Env: core.NewEnv(vc, opts...), faults: faults}
+
+	for _, spec := range wl.Regs {
+		s.Regs = append(s.Regs, s.Env.NewRegistry(spec.ID))
+	}
+	// Neighbor wiring: inputs per spec, outputs derived by reversal.
+	outputs := make([][]int, len(wl.Regs))
+	for ri, spec := range wl.Regs {
+		for _, in := range spec.Inputs {
+			outputs[in] = append(outputs[in], ri)
+		}
+	}
+	resolver := func(idxs []int) func() []*core.Registry {
+		return func() []*core.Registry {
+			out := make([]*core.Registry, len(idxs))
+			for i, idx := range idxs {
+				out[i] = s.Regs[idx]
+			}
+			return out
+		}
+	}
+	for ri, spec := range wl.Regs {
+		if spec.Parent >= 0 {
+			continue
+		}
+		s.Regs[ri].SetNeighbors(resolver(spec.Inputs), resolver(outputs[ri]))
+	}
+	for ri, spec := range wl.Regs {
+		if spec.Parent >= 0 {
+			s.Regs[spec.Parent].AttachModule(spec.ModName, s.Regs[ri])
+		}
+	}
+	for ri, spec := range wl.Regs {
+		for _, it := range spec.Items {
+			s.Regs[ri].MustDefine(s.definition(ri, it))
+		}
+	}
+	return s
+}
+
+// definition builds the core.Definition for one workload item. The
+// compute functions implement the deterministic value semantics shared
+// with the model:
+//
+//	static:    Base
+//	on-demand: Base + Σ dep values + 0.001·now        (at access time)
+//	periodic:  start·1e6 + end                        (encodes the window)
+//	triggered: Base + Σ dep values + 0.01·now         (at refresh time)
+//
+// Periodic values encode their exact window boundaries, so value
+// equivalence against the model verifies the window sequence itself.
+func (s *System) definition(ri int, it ItemSpec) *core.Definition {
+	k := ikey{ri, it.Kind}
+	deps := make([]core.DepRef, len(it.Deps))
+	for i, d := range it.Deps {
+		deps[i] = toDepRef(d)
+	}
+	return &core.Definition{
+		Kind:   it.Kind,
+		Deps:   deps,
+		Events: it.Events,
+		Build: func(ctx *core.BuildContext) (core.Handler, error) {
+			if s.faults.panicBuild(k) {
+				panic(fmt.Sprintf("injected: build %v", k))
+			}
+			if s.faults.failBuild(k) {
+				return nil, fmt.Errorf("injected: build %v failed", k)
+			}
+			switch it.Mech {
+			case core.StaticMechanism:
+				return core.NewStatic(it.Base), nil
+			case core.OnDemandMechanism:
+				return core.NewOnDemand(func(now clock.Time) (core.Value, error) {
+					v, err := sumDeps(ctx)
+					if err != nil {
+						return nil, err
+					}
+					return it.Base + v + 0.001*float64(now), nil
+				}), nil
+			case core.PeriodicMechanism:
+				log := &WindowLog{Item: k}
+				s.mu.Lock()
+				s.logs = append(s.logs, log)
+				s.mu.Unlock()
+				first := true
+				return core.NewPeriodic(it.Window, func(start, end clock.Time) (core.Value, error) {
+					if !first {
+						if ch := s.faults.blockPeriodic(k); ch != nil {
+							<-ch
+						}
+						if s.faults.panicPeriodic(k) {
+							panic(fmt.Sprintf("injected: periodic %v", k))
+						}
+					}
+					first = false
+					log.add(start, end)
+					return encodeWindow(start, end), nil
+				}), nil
+			case core.TriggeredMechanism:
+				return core.NewTriggered(func(now clock.Time) (core.Value, error) {
+					v, err := sumDeps(ctx)
+					if err != nil {
+						return nil, err
+					}
+					return it.Base + v + 0.01*float64(now), nil
+				}), nil
+			default:
+				return nil, fmt.Errorf("modelcheck: bad mechanism %v", it.Mech)
+			}
+		},
+	}
+}
+
+// encodeWindow is the canonical value a periodic workload item
+// publishes for the window [start, end): both boundaries are encoded,
+// so the equivalence check verifies the exact window sequence (the
+// isolation condition of Figure 4).
+func encodeWindow(start, end clock.Time) float64 {
+	return float64(start)*1e6 + float64(end)
+}
+
+// sumDeps folds the dependency handles in declaration order. The model
+// performs the identical float64 additions in the identical order, so
+// values compare exactly.
+func sumDeps(ctx *core.BuildContext) (float64, error) {
+	total := 0.0
+	for i := 0; i < ctx.NumDeps(); i++ {
+		for _, h := range ctx.DepGroup(i) {
+			f, err := h.Float()
+			if err != nil {
+				return 0, err
+			}
+			total += f
+		}
+	}
+	return total, nil
+}
+
+// WindowLogs returns every periodic window log created so far
+// (including logs of handlers since removed).
+func (s *System) WindowLogs() []*WindowLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*WindowLog, len(s.logs))
+	copy(out, s.logs)
+	return out
+}
+
+// BaseRegs returns the base (non-module) registries — the roots
+// passed to core.VerifyIntegrity, which walks modules itself.
+func (s *System) BaseRegs() []*core.Registry {
+	var out []*core.Registry
+	for ri, spec := range s.Wl.Regs {
+		if spec.Parent < 0 {
+			out = append(out, s.Regs[ri])
+		}
+	}
+	return out
+}

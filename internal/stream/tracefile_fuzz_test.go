@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSchemas are the decode schemas the fuzzer exercises: typed,
+// untyped, and empty arities.
+var fuzzSchemas = []Schema{
+	{Name: "iii", Fields: []Field{{Name: "a", Type: "int"}, {Name: "b", Type: "int"}, {Name: "c", Type: "int"}}},
+	{Name: "mixed", Fields: []Field{{Name: "id", Type: "int"}, {Name: "x", Type: "float"}, {Name: "tag", Type: "string"}}},
+	{Name: "s", Fields: []Field{{Name: "only", Type: "blob"}}},
+	{Name: "empty"},
+}
+
+// FuzzReadTraceCSV feeds arbitrary bytes to the trace parser. The
+// parser must never panic, and any trace it accepts must be valid
+// (monotone times) and must round-trip: re-serializing and re-parsing
+// reaches a fixed point.
+func FuzzReadTraceCSV(f *testing.F) {
+	f.Add([]byte("time,a,b,c\n0,1,2,3\n5,4,5,6\n"), uint8(0))
+	f.Add([]byte("time,id,x,tag\n0,1,0.5,hello\n2,2,1e300,\"quoted,comma\"\n"), uint8(1))
+	f.Add([]byte("time,only\n10,anything goes\n"), uint8(2))
+	f.Add([]byte("time\n1\n2\n"), uint8(3))
+	f.Add([]byte(""), uint8(0))
+	f.Add([]byte("time,a,b,c\n-1,x,y,z\n"), uint8(0))
+	f.Add([]byte("time,id,x,tag\n9223372036854775807,1,NaN,t\n"), uint8(1))
+	f.Add([]byte("time,a,b,c\n5,1,2,3\n0,1,2,3\n"), uint8(0)) // out of order
+	f.Fuzz(func(t *testing.T, data []byte, which uint8) {
+		schema := fuzzSchemas[int(which)%len(fuzzSchemas)]
+		tr, err := ReadTraceCSV(bytes.NewReader(data), schema)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+		var out1 strings.Builder
+		if err := tr.WriteCSV(&out1, schema); err != nil {
+			t.Fatalf("re-serializing accepted trace: %v", err)
+		}
+		tr2, err := ReadTraceCSV(strings.NewReader(out1.String()), schema)
+		if err != nil {
+			t.Fatalf("re-parsing own output %q: %v", out1.String(), err)
+		}
+		var out2 strings.Builder
+		if err := tr2.WriteCSV(&out2, schema); err != nil {
+			t.Fatalf("second serialization: %v", err)
+		}
+		if out1.String() != out2.String() {
+			t.Fatalf("round-trip not a fixed point:\nfirst:  %q\nsecond: %q", out1.String(), out2.String())
+		}
+		if len(tr2.Arrivals) != len(tr.Arrivals) {
+			t.Fatalf("round-trip changed arrival count: %d -> %d", len(tr.Arrivals), len(tr2.Arrivals))
+		}
+	})
+}
