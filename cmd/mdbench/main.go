@@ -83,6 +83,14 @@ var experiments = map[string]struct {
 	"e18": {"QoS-priority scheduling vs round-robin", func() *bench.Table {
 		return bench.E18Table(bench.RunE18(3000))
 	}},
+	"e19": {"batched update pipeline vs per-handler ticks", func() *bench.Table {
+		elapsed := func(fn func()) int64 {
+			start := time.Now()
+			fn()
+			return time.Since(start).Nanoseconds()
+		}
+		return bench.E19Table(bench.RunE19(1000, 4, 50, elapsed))
+	}},
 	"a1": {"ablation: topological vs naive propagation", func() *bench.Table {
 		return bench.A1Table(bench.RunA1([]int{2, 4, 6, 8, 10, 12}))
 	}},
@@ -106,7 +114,7 @@ var experiments = map[string]struct {
 var workersFlag = flag.Int("workers", 2, "updater worker pool size for c1 (0 = inline)")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e18, a1, c1, f2, all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e19, a1, c1, f2, all)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 

@@ -83,7 +83,10 @@ func main() {
 		fmt.Printf("  %-18s mean=%-10.4g last=%-10.4g max=%-10.4g samples=%d\n",
 			name, s.Mean(), s.Last().Value, s.Max(), len(s.Samples))
 	}
-	fmt.Printf("\nframework activity: %+v\n", sys.Env().Stats().Snapshot())
+	st := sys.Env().Stats().Snapshot()
+	fmt.Printf("\nframework activity: %+v\n", st)
+	fmt.Printf("update pipeline: scopeBatches=%d batchedTicks=%d meanBatch=%.1f planHitRate=%.3f\n",
+		st.ScopeBatches, st.BatchedTicks, st.MeanBatchSize(), st.PlanHitRate())
 }
 
 func must(err error) {

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// E19Row is one mode of the batched-update-pipeline experiment.
+type E19Row struct {
+	// Mode is "batched" (default pipeline) or "per-handler" (the
+	// WithPerHandlerTicks ablation: one dispatch and one propagation
+	// per handler per boundary).
+	Mode string
+	// Handlers is the total number of periodic handlers.
+	Handlers int
+	// Scopes is the number of independent dependency scopes the
+	// handlers are spread over.
+	Scopes int
+	// Boundaries is the number of timed window boundaries.
+	Boundaries int
+	// NsPerBoundary is wall time per window boundary.
+	NsPerBoundary int64
+	// SubmitsPerBoundary is the number of Updater.Submit dispatches
+	// per boundary: scopes for the batched pipeline, handlers for the
+	// per-handler baseline.
+	SubmitsPerBoundary float64
+	// RefreshesPerBoundary is the number of trigger notifications per
+	// boundary across the per-scope fan-in dependents: scopes when
+	// same-instant publishes coalesce, handlers when they do not.
+	RefreshesPerBoundary float64
+	// MeanBatchSize is periodic ticks per scope batch (0 in
+	// per-handler mode, which never forms batches).
+	MeanBatchSize float64
+	// PlanHitRate is the propagation-plan cache hit rate.
+	PlanHitRate float64
+}
+
+// submitCounter wraps an updater and counts Submit calls. Wrapping
+// also defeats the inline-updater fast path, so the batched pipeline's
+// dispatches become observable as Submit calls.
+type submitCounter struct {
+	inner core.Updater
+	n     atomic.Int64
+}
+
+func (c *submitCounter) Submit(fn func()) {
+	c.n.Add(1)
+	c.inner.Submit(fn)
+}
+func (c *submitCounter) WaitIdle() { c.inner.WaitIdle() }
+func (c *submitCounter) Stop()     { c.inner.Stop() }
+
+// RunE19 measures the batched update pipeline against the per-handler
+// baseline: `handlers` periodic items with a shared window are spread
+// over `scopes` registries (each its own dependency scope), each scope
+// topped by a triggered aggregate over all of its periodic items. At
+// every window boundary all handlers are due at the same instant. The
+// batched pipeline dispatches one scope batch per scope (one
+// Updater.Submit each) and refreshes each aggregate once; the
+// per-handler ablation dispatches every handler separately and
+// re-propagates per publish, refreshing each aggregate once per local
+// publisher.
+func RunE19(handlers, scopes, boundaries int, elapsed func(fn func()) int64) []E19Row {
+	var rows []E19Row
+	for _, mode := range []string{"per-handler", "batched"} {
+		rows = append(rows, RunE19Mode(mode, handlers, scopes, boundaries, elapsed))
+	}
+	return rows
+}
+
+// RunE19Mode runs one mode of E19: "batched" or "per-handler".
+func RunE19Mode(mode string, handlers, scopes, boundaries int, elapsed func(fn func()) int64) E19Row {
+	if handlers%scopes != 0 {
+		panic("handlers must divide evenly over scopes")
+	}
+	perScope := handlers / scopes
+	var opts []core.EnvOption
+	if mode == "per-handler" {
+		opts = append(opts, core.WithPerHandlerTicks())
+	}
+	vc := clock.NewVirtual()
+	cu := &submitCounter{inner: core.NewInlineUpdater()}
+	env := core.NewEnv(vc, append(opts, core.WithUpdater(cu))...)
+
+	subs := make([]*core.Subscription, 0, scopes)
+	for s := 0; s < scopes; s++ {
+		r := env.NewRegistry(fmt.Sprintf("op%d", s))
+		deps := make([]core.DepRef, 0, perScope)
+		for i := 0; i < perScope; i++ {
+			kind := core.Kind(fmt.Sprintf("p%d", i))
+			r.MustDefine(&core.Definition{
+				Kind: kind,
+				Build: func(*core.BuildContext) (core.Handler, error) {
+					return core.NewPeriodic(10, func(start, end clock.Time) (core.Value, error) {
+						return float64(end), nil
+					}), nil
+				},
+			})
+			deps = append(deps, core.Dep(core.Self(), kind))
+		}
+		r.MustDefine(&core.Definition{
+			Kind: "agg",
+			Deps: deps,
+			Build: func(ctx *core.BuildContext) (core.Handler, error) {
+				hs := make([]*core.Handle, len(deps))
+				for i := range deps {
+					hs[i] = ctx.Dep(i)
+				}
+				return core.NewTriggered(func(clock.Time) (core.Value, error) {
+					var sum float64
+					for _, h := range hs {
+						v, err := h.Float()
+						if err != nil {
+							return nil, err
+						}
+						sum += v
+					}
+					return sum, nil
+				}), nil
+			},
+		})
+		sub, err := r.Subscribe("agg")
+		if err != nil {
+			panic(err)
+		}
+		subs = append(subs, sub)
+	}
+
+	// Warm-up boundary: builds the propagation plans so the timed loop
+	// measures the steady state.
+	vc.Advance(10)
+
+	before := env.Stats().Snapshot()
+	cu.n.Store(0)
+	ns := elapsed(func() {
+		for b := 0; b < boundaries; b++ {
+			vc.Advance(10)
+		}
+	})
+	delta := env.Stats().Snapshot().Sub(before)
+
+	// Sanity: every aggregate ends on the shared boundary value.
+	want := float64(perScope) * float64(env.Now())
+	for _, sub := range subs {
+		if got, err := sub.Float(); err != nil || got != want {
+			panic(fmt.Sprintf("agg = %v, %v; want %v", got, err, want))
+		}
+		sub.Unsubscribe()
+	}
+
+	return E19Row{
+		Mode:                 mode,
+		Handlers:             handlers,
+		Scopes:               scopes,
+		Boundaries:           boundaries,
+		NsPerBoundary:        ns / int64(boundaries),
+		SubmitsPerBoundary:   float64(cu.n.Load()) / float64(boundaries),
+		RefreshesPerBoundary: float64(delta.TriggerNotifications) / float64(boundaries),
+		MeanBatchSize:        delta.MeanBatchSize(),
+		PlanHitRate:          delta.PlanHitRate(),
+	}
+}
+
+// E19Table renders the batched-pipeline comparison.
+func E19Table(rows []E19Row) *Table {
+	t := &Table{
+		Title:  "E19 — batched update pipeline vs per-handler ticks",
+		Note:   "same-boundary periodic handlers: the batched pipeline dispatches one scope batch per scope per boundary and coalesces propagation (one refresh per dependent per instant); the per-handler ablation dispatches and propagates once per handler",
+		Header: []string{"mode", "handlers", "scopes", "ns/boundary", "submits/boundary", "refreshes/boundary", "mean batch", "plan hit rate"},
+	}
+	for _, r := range rows {
+		t.Add(r.Mode, r.Handlers, r.Scopes, r.NsPerBoundary, r.SubmitsPerBoundary, r.RefreshesPerBoundary,
+			fmt.Sprintf("%.1f", r.MeanBatchSize), fmt.Sprintf("%.3f", r.PlanHitRate))
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE19BatchedVsPerHandler(t *testing.T) {
+	elapsed := func(fn func()) int64 { fn(); return 1 }
+	rows := RunE19(40, 2, 5, elapsed)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	perHandler, batched := rows[0], rows[1]
+	if perHandler.Mode != "per-handler" || batched.Mode != "batched" {
+		t.Fatalf("modes = %q, %q", perHandler.Mode, batched.Mode)
+	}
+	// Batched: one Submit and one coalesced propagation per scope per
+	// boundary; per-handler: one of each per handler.
+	if batched.SubmitsPerBoundary != 2 || batched.RefreshesPerBoundary != 2 {
+		t.Fatalf("batched submits/refreshes per boundary = %v/%v, want 2/2",
+			batched.SubmitsPerBoundary, batched.RefreshesPerBoundary)
+	}
+	if perHandler.SubmitsPerBoundary != 40 || perHandler.RefreshesPerBoundary != 40 {
+		t.Fatalf("per-handler submits/refreshes per boundary = %v/%v, want 40/40",
+			perHandler.SubmitsPerBoundary, perHandler.RefreshesPerBoundary)
+	}
+	if perHandler.SubmitsPerBoundary < 5*batched.SubmitsPerBoundary {
+		t.Fatalf("batching saves only %.1fx submits, want >= 5x",
+			perHandler.SubmitsPerBoundary/batched.SubmitsPerBoundary)
+	}
+	if batched.MeanBatchSize != 20 {
+		t.Fatalf("MeanBatchSize = %v, want 20 (40 handlers over 2 scopes)", batched.MeanBatchSize)
+	}
+	if batched.PlanHitRate != 1 {
+		t.Fatalf("PlanHitRate = %v, want 1 after warm-up", batched.PlanHitRate)
+	}
+
+	var b strings.Builder
+	E19Table(rows).Fprint(&b)
+	if !strings.Contains(b.String(), "per-handler") || !strings.Contains(b.String(), "batched") {
+		t.Fatalf("table missing modes:\n%s", b.String())
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import "repro/internal/clock"
+
+// Batched tick dispatch (Section 4.3 at scale).
+//
+// All periodic handlers of an Env share one bucketed deadline
+// scheduler (clock.Scheduler): handlers due at the same instant arrive
+// here as a single batch behind a single clock event, in arm order —
+// which preserves the virtual clock's same-instant tie-break exactly
+// as if each handler still owned a private ticker. The dispatch then
+//
+//  1. re-arms every task for its next boundary (on the clock
+//     goroutine, like the old per-handler ticker reschedule, so pool
+//     workers lagging behind the clock never lose future ticks),
+//  2. groups the due handlers by dependency-scope root, and
+//  3. runs one scope batch per group — one Updater.Submit instead of
+//     one per handler.
+//
+// A scope batch publishes all of its windows first and then runs
+// trigger propagation once over the merged seed set, so a triggered
+// item depending on k same-boundary periodic items refreshes once per
+// instant, not k times. Coalescing preserves quiescent values: every
+// refresh is an idempotent function of its dependencies' current
+// values and the shared instant, propagation still runs in
+// topological order, and the single pass reads all newly published
+// windows — only the redundant intermediate refreshes disappear.
+//
+// Lock footprint of the batched tick path: the grouping step takes
+// each handler's metadata-level mutex only to read its entry pointer;
+// publishing takes it per handler around the window compute (as
+// before); propagation then takes the dependency-scope lock(s) once
+// per batch — no handler mutex is held while any structural lock is
+// taken, and no structural lock is held while a window computes.
+
+// tickGroup collects the due handlers of one dependency-scope root.
+// The groups live in Env.tickGroups, reused across dispatches under
+// tickMu.
+type tickGroup struct {
+	root *component
+	hs   []*periodicHandler
+}
+
+// dispatchTicks is the Env's scheduler callback: it receives every
+// periodic handler due at instant now, in arm order.
+func (env *Env) dispatchTicks(now clock.Time, due []*clock.Task) {
+	// Re-arm first, in batch order: the scheduler ignores re-arms of
+	// tasks a concurrent unsubscribe has canceled, and arming before
+	// the (possibly pooled, possibly lagging) update work runs keeps
+	// the boundary cadence anchored to the clock, exactly like the old
+	// ticker's clock-goroutine reschedule.
+	sched := env.scheduler()
+	for _, t := range due {
+		h := t.Data.(*periodicHandler)
+		sched.At(now.Add(h.window), t)
+	}
+
+	_, inline := env.updater.(inlineUpdater)
+
+	if env.perHandlerTicks {
+		// Ablation/baseline: one dispatch and one propagation per
+		// handler, legacy semantics.
+		for _, t := range due {
+			h := t.Data.(*periodicHandler)
+			if inline {
+				h.tick(now)
+			} else {
+				h := h
+				env.updater.Submit(func() { h.tick(now) })
+			}
+		}
+		return
+	}
+
+	env.tickMu.Lock()
+	defer env.tickMu.Unlock()
+	// Group by dependency-scope root. The lock-free find may observe a
+	// root that is merging away; that is safe — the batch's lockScope
+	// revalidates — and at worst splits one logical scope into two
+	// batches for this boundary.
+	n := 0
+	for _, t := range due {
+		h := t.Data.(*periodicHandler)
+		e := h.entry()
+		if e == nil {
+			continue // stopped between fire and dispatch
+		}
+		root := find(e.reg.comp)
+		idx := -1
+		for i := 0; i < n; i++ {
+			if env.tickGroups[i].root == root {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			if n < len(env.tickGroups) {
+				env.tickGroups[n].root = root
+				env.tickGroups[n].hs = env.tickGroups[n].hs[:0]
+			} else {
+				env.tickGroups = append(env.tickGroups, tickGroup{root: root})
+			}
+			idx = n
+			n++
+		}
+		env.tickGroups[idx].hs = append(env.tickGroups[idx].hs, h)
+	}
+	for i := 0; i < n; i++ {
+		g := &env.tickGroups[i]
+		g.root = nil // do not pin merged-away roots between boundaries
+		if inline {
+			// Inline updater: run the batch directly instead of paying
+			// a closure allocation and dispatch for a Submit that
+			// would execute it synchronously anyway.
+			env.runTickBatch(g.hs, now)
+		} else {
+			hs := make([]*periodicHandler, len(g.hs))
+			copy(hs, g.hs)
+			env.updater.Submit(func() { env.runTickBatch(hs, now) })
+		}
+	}
+}
+
+// runTickBatch executes one scope batch: publish every due window,
+// then propagate once over the merged seed set. It runs on the
+// updater (a pool worker for large graphs).
+func (env *Env) runTickBatch(hs []*periodicHandler, now clock.Time) {
+	env.stats.ScopeBatches.Add(1)
+	env.stats.BatchedTicks.Add(int64(len(hs)))
+
+	var pubsArr [16]*entry
+	pubs := pubsArr[:0]
+	var regsArr [8]*Registry
+	regs := regsArr[:0]
+	end := now
+	for _, h := range hs {
+		e, pubEnd, ok := h.publish(now)
+		if !ok || e.ndeps.Load() == 0 {
+			// Nothing depends on the item: skip the scope lock
+			// entirely (the key to parallel periodic updates on the
+			// worker pool).
+			continue
+		}
+		pubs = append(pubs, e)
+		if pubEnd > end {
+			end = pubEnd
+		}
+		dup := false
+		for _, r := range regs {
+			if r == e.reg {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			regs = append(regs, e.reg)
+		}
+	}
+	if len(pubs) == 0 {
+		return
+	}
+
+	// One propagation for the whole batch, under the scope lock(s).
+	// Seeds — the dependents of every published entry — go into the
+	// root's scratch buffer; duplicates (an item depending on several
+	// publishers) are deduplicated by the plan lookup. A lagging pool
+	// batch may have clamped windows to a later end; propagate at the
+	// latest published instant so dependents never see a timestamp
+	// older than the values they read.
+	sc := env.lockScope(regs...)
+	root := find(pubs[0].reg.comp)
+	seeds := root.seedBuf[:0]
+	for _, e := range pubs {
+		for d := range e.dependents {
+			seeds = append(seeds, d)
+		}
+	}
+	root.seedBuf = seeds
+	env.refreshClosureLocked(seeds, end)
+	sc.unlock()
+}

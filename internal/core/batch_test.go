@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// definePeriodicEnd defines kind as a periodic item whose published
+// value is the window end — easy to predict after any advance.
+func definePeriodicEnd(r *Registry, kind Kind, window clock.Duration) {
+	r.MustDefine(&Definition{
+		Kind: kind,
+		Build: func(*BuildContext) (Handler, error) {
+			return NewPeriodic(window, func(start, end clock.Time) (Value, error) {
+				return float64(end), nil
+			}), nil
+		},
+	})
+}
+
+// countingUpdater wraps an inner updater and counts Submit calls. It
+// is deliberately NOT the inlineUpdater type, so the tick dispatch
+// takes the Submit path even when the inner updater runs synchronously
+// — that is what makes dispatches countable.
+type countingUpdater struct {
+	inner   Updater
+	submits atomic.Int64
+}
+
+func (c *countingUpdater) Submit(fn func()) {
+	c.submits.Add(1)
+	c.inner.Submit(fn)
+}
+func (c *countingUpdater) WaitIdle() { c.inner.WaitIdle() }
+func (c *countingUpdater) Stop()     { c.inner.Stop() }
+
+// TestBatchedTicksSubmitCount pins the dispatch economics of the
+// batched pipeline: N same-boundary handlers in one dependency scope
+// cost one Updater.Submit per boundary, where the per-handler baseline
+// (WithPerHandlerTicks) costs N.
+func TestBatchedTicksSubmitCount(t *testing.T) {
+	const n = 40
+	run := func(opts ...EnvOption) (submits int64, env *Env) {
+		vc := clock.NewVirtual()
+		cu := &countingUpdater{inner: NewInlineUpdater()}
+		env = NewEnv(vc, append(opts, WithUpdater(cu))...)
+		r := env.NewRegistry("op")
+		var subs []*Subscription
+		for i := 0; i < n; i++ {
+			kind := Kind(fmt.Sprintf("p%d", i))
+			definePeriodicEnd(r, kind, 10)
+			s, err := r.Subscribe(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs = append(subs, s)
+		}
+		cu.submits.Store(0)
+		for b := 0; b < 3; b++ {
+			vc.Advance(10)
+		}
+		for _, s := range subs {
+			s.Unsubscribe()
+		}
+		return cu.submits.Load(), env
+	}
+
+	batched, env := run()
+	if batched != 3 {
+		t.Fatalf("batched pipeline: %d submits for 3 boundaries, want 3", batched)
+	}
+	st := env.Stats().Snapshot()
+	if st.ScopeBatches != 3 || st.BatchedTicks != 3*n {
+		t.Fatalf("ScopeBatches=%d BatchedTicks=%d, want 3 / %d", st.ScopeBatches, st.BatchedTicks, 3*n)
+	}
+	if got := st.MeanBatchSize(); got != n {
+		t.Fatalf("MeanBatchSize = %v, want %d", got, n)
+	}
+
+	perHandler, _ := run(WithPerHandlerTicks())
+	if perHandler != 3*n {
+		t.Fatalf("per-handler baseline: %d submits for 3 boundaries, want %d", perHandler, 3*n)
+	}
+	if perHandler < 5*batched {
+		t.Fatalf("batching saves only %dx submits, want >= 5x", perHandler/batched)
+	}
+}
+
+// TestPerHandlerTicksAblation pins the legacy semantics of the
+// ablation mode: without coalescing, a triggered dependent of k
+// same-boundary publishers refreshes k times per instant.
+func TestPerHandlerTicksAblation(t *testing.T) {
+	const k = 4
+	vc := clock.NewVirtual()
+	env := NewEnv(vc, WithPerHandlerTicks())
+	r := env.NewRegistry("op")
+	deps := make([]DepRef, 0, k)
+	for i := 0; i < k; i++ {
+		kind := Kind(fmt.Sprintf("p%d", i))
+		definePeriodicEnd(r, kind, 10)
+		deps = append(deps, Dep(Self(), kind))
+	}
+	defineDerived(r, "fanin", deps...)
+	s, err := r.Subscribe("fanin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Unsubscribe()
+
+	before := env.Stats().TriggerNotifications.Load()
+	vc.Advance(10)
+	got := env.Stats().TriggerNotifications.Load() - before
+	if got != k {
+		t.Fatalf("ablation mode: fan-in refreshed %d times per boundary, want %d (uncoalesced)", got, k)
+	}
+	if v, err := s.Float(); err != nil || v != 4*10 {
+		t.Fatalf("fanin = %v, %v; want 40", v, err)
+	}
+}
+
+// TestSiblingValueReadMidBatch is the lock-footprint regression for
+// the batched tick path: a periodic compute that reads its sibling's
+// Value() mid-batch must not deadlock (value reads are lock-free; no
+// structural lock is held while a window computes), and — because the
+// batch publishes in arm order, dependencies before dependents — it
+// reads the sibling's freshly published window.
+func TestSiblingValueReadMidBatch(t *testing.T) {
+	for _, pool := range []bool{false, true} {
+		name := "inline"
+		if pool {
+			name = "pool"
+		}
+		t.Run(name, func(t *testing.T) {
+			vc := clock.NewVirtual()
+			var opts []EnvOption
+			if pool {
+				u := NewPoolUpdater(2)
+				defer u.Stop()
+				opts = append(opts, WithUpdater(u))
+			}
+			env := NewEnv(vc, opts...)
+			r := env.NewRegistry("op")
+			definePeriodicEnd(r, "a", 10)
+			r.MustDefine(&Definition{
+				Kind: "b",
+				Deps: []DepRef{Dep(Self(), "a")},
+				Build: func(ctx *BuildContext) (Handler, error) {
+					h := ctx.Dep(0)
+					return NewPeriodic(10, func(start, end clock.Time) (Value, error) {
+						f, err := h.Float() // sibling read, mid-batch
+						if err != nil {
+							return nil, err
+						}
+						return f + 0.5, nil
+					}), nil
+				},
+			})
+			// Triggered sibling reading both during propagation, while
+			// the scope lock is held.
+			defineDerived(r, "t", Dep(Self(), "a"), Dep(Self(), "b"))
+			s, err := r.Subscribe("t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Unsubscribe()
+
+			vc.Advance(10)
+			env.Quiesce()
+			if v, err := r.Peek("a"); err != nil || v != 10.0 {
+				t.Fatalf("a = %v, %v; want 10", v, err)
+			}
+			// b armed after its dependency a, so its compute saw a's
+			// new window.
+			if v, err := r.Peek("b"); err != nil || v != 10.5 {
+				t.Fatalf("b = %v, %v; want 10.5", v, err)
+			}
+			if v, err := s.Float(); err != nil || v != 20.5 {
+				t.Fatalf("t = %v, %v; want 20.5", v, err)
+			}
+		})
+	}
+}
+
+// TestPlanCacheInvalidationChurn interleaves subscribe/unsubscribe/
+// redefinition with periodic boundaries and verifies that propagation
+// never executes a stale plan: values stay exactly predictable and
+// the structural invariants hold after every step.
+func TestPlanCacheInvalidationChurn(t *testing.T) {
+	const k = 4
+	vc := clock.NewVirtual()
+	env := NewEnv(vc)
+	r := env.NewRegistry("op")
+	deps := make([]DepRef, 0, k)
+	for i := 0; i < k; i++ {
+		kind := Kind(fmt.Sprintf("p%d", i))
+		definePeriodicEnd(r, kind, 5)
+		deps = append(deps, Dep(Self(), kind))
+	}
+	defineDerived(r, "fanin", deps...)
+	defineDerived(r, "churn", Dep(Self(), "p0"), Dep(Self(), "p1"))
+	defineConst(r, "spare", 1.0)
+
+	fanin, err := r.Subscribe("fanin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fanin.Unsubscribe()
+
+	var churn *Subscription
+	for i := 0; i < 50; i++ {
+		vc.Advance(5)
+		now := float64(env.Now())
+		// fanin must track every boundary despite the churn below: a
+		// stale plan would miss it (wrong value) or refresh a removed
+		// churn handler (panic / error).
+		if v, err := fanin.Float(); err != nil || v != k*now {
+			t.Fatalf("round %d: fanin = %v, %v; want %v", i, v, err, k*now)
+		}
+		switch i % 4 {
+		case 0: // add a second dependent mid-stream
+			churn, err = r.Subscribe("churn")
+			if err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if v, err := churn.Float(); err != nil || v != 2*now {
+				t.Fatalf("round %d: churn = %v, %v; want %v", i, v, err, 2*now)
+			}
+		case 2: // remove it again
+			churn.Unsubscribe()
+			churn = nil
+		case 3: // redefine an unused item: conservative invalidation
+			if err := r.Define(&Definition{
+				Kind:  "spare",
+				Build: func(*BuildContext) (Handler, error) { return NewStatic(2.0), nil },
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if errs := VerifyIntegrity(nil, r); len(errs) > 0 {
+			t.Fatalf("round %d: integrity: %v", i, errs)
+		}
+	}
+	st := env.Stats().Snapshot()
+	if st.PlanCacheMisses == 0 || st.PlanCacheHits == 0 {
+		t.Fatalf("plan cache never exercised: hits=%d misses=%d", st.PlanCacheHits, st.PlanCacheMisses)
+	}
+	// Churn invalidates every 4 boundaries, so there must be real
+	// hits between invalidations AND real misses from invalidation.
+	if st.PlanCacheMisses < 10 {
+		t.Fatalf("plan cache misses = %d, want >= 10 (invalidation not happening?)", st.PlanCacheMisses)
+	}
+}
+
+// TestPlanCacheChurnConcurrent runs the same churn against a pool
+// updater from several goroutines; under -race this exercises the
+// plan cache's single-writer-under-scope-lock discipline.
+func TestPlanCacheChurnConcurrent(t *testing.T) {
+	const k = 4
+	vc := clock.NewVirtual()
+	u := NewPoolUpdater(2)
+	defer u.Stop()
+	env := NewEnv(vc, WithUpdater(u))
+	r := env.NewRegistry("op")
+	deps := make([]DepRef, 0, k)
+	for i := 0; i < k; i++ {
+		kind := Kind(fmt.Sprintf("p%d", i))
+		definePeriodicEnd(r, kind, 5)
+		deps = append(deps, Dep(Self(), kind))
+	}
+	defineDerived(r, "fanin", deps...)
+	defineDerived(r, "churn", Dep(Self(), "p1"), Dep(Self(), "p2"))
+
+	fanin, err := r.Subscribe("fanin")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // clock driver (advances must not be re-entrant)
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			vc.Advance(5)
+		}
+	}()
+	go func() { // subscription churn
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			s, err := r.Subscribe("churn")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := s.Value(); err != nil {
+				t.Error(err)
+				return
+			}
+			s.Unsubscribe()
+		}
+	}()
+	wg.Wait()
+	env.Quiesce()
+
+	if v, err := fanin.Float(); err != nil || v != k*float64(env.Now()) {
+		t.Fatalf("fanin = %v, %v; want %v", v, err, k*float64(env.Now()))
+	}
+	fanin.Unsubscribe()
+	if errs := VerifyIntegrity(map[ItemKey]int{}, r); len(errs) > 0 {
+		t.Fatalf("integrity: %v", errs)
+	}
+	st := env.Stats().Snapshot()
+	if st.HandlersCreated != st.HandlersRemoved {
+		t.Fatalf("handler leak: %d created, %d removed", st.HandlersCreated, st.HandlersRemoved)
+	}
+}

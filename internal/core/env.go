@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/clock"
@@ -39,6 +40,22 @@ type Env struct {
 
 	// naivePropagation enables the ablation propagation mode.
 	naivePropagation bool
+
+	// perHandlerTicks enables the legacy per-handler tick dispatch
+	// (one Submit and one propagation per periodic handler per
+	// boundary) instead of scope-batched ticks. Ablation only.
+	perHandlerTicks bool
+
+	// sched is the lazily created bucketed deadline scheduler shared
+	// by every periodic handler of the graph: all handlers due at one
+	// instant cost a single clock event and arrive as one batch (see
+	// batch.go).
+	schedOnce sync.Once
+	sched     *clock.Scheduler
+
+	// tickMu guards the dispatch-side grouping scratch in batch.go.
+	tickMu     sync.Mutex
+	tickGroups []tickGroup
 }
 
 // EnvOption configures an Env.
@@ -57,6 +74,17 @@ func WithUpdater(u Updater) EnvOption {
 // update-order problem Section 3.3 warns about.
 func WithNaivePropagation() EnvOption {
 	return func(e *Env) { e.naivePropagation = true }
+}
+
+// WithPerHandlerTicks disables tick batching: every periodic handler
+// is dispatched individually at its boundary and propagates its own
+// update, as if it still owned a private ticker. FOR ABLATION AND
+// BASELINE MEASUREMENTS ONLY (benchmark E19): same-instant publishes
+// then no longer coalesce their trigger propagation, so a triggered
+// item depending on k same-boundary periodic items refreshes k times
+// per instant instead of once.
+func WithPerHandlerTicks() EnvOption {
+	return func(e *Env) { e.perHandlerTicks = true }
 }
 
 // NewEnv returns an Env on the given clock.
@@ -91,3 +119,12 @@ func (e *Env) Quiesce() { e.updater.WaitIdle() }
 
 // nextSeq returns the next entry creation sequence number.
 func (e *Env) nextSeq() int64 { return e.seq.Add(1) }
+
+// scheduler returns the env's bucketed tick scheduler, creating it on
+// first use so envs without periodic metadata never pay for one.
+func (e *Env) scheduler() *clock.Scheduler {
+	e.schedOnce.Do(func() {
+		e.sched = clock.NewScheduler(e.clk, e.dispatchTicks)
+	})
+	return e.sched
+}

@@ -23,6 +23,11 @@ type WindowComputeFunc func(start, end clock.Time) (Value, error)
 // The current value is published through an atomic snapshot pointer,
 // so Value() is lock-free: readers never contend with the periodic
 // update or with each other.
+//
+// Boundary scheduling is delegated to the env's bucketed scheduler:
+// the handler arms one clock.Task per pending boundary, and all
+// handlers due at the same instant are dispatched as one batch (see
+// batch.go) instead of one ticker event + one updater submit each.
 type periodicHandler struct {
 	window  clock.Duration
 	compute WindowComputeFunc
@@ -33,12 +38,13 @@ type periodicHandler struct {
 	cur atomic.Pointer[valueSnapshot]
 
 	mu       sync.Mutex
+	env      *Env
 	e        *entry
 	snaps    snapAlloc
 	winStart clock.Time
-	ticker   *clock.Ticker
+	task     *clock.Task
 	stopped  bool
-	// async records whether ticks run asynchronously to the clock
+	// async records whether updates run asynchronously to the clock
 	// (pool updater): only then can a tick lag behind the clock and
 	// need its window end clamped to the clock's current position.
 	async bool
@@ -71,6 +77,7 @@ func (h *periodicHandler) start(e *entry) error {
 	env := e.reg.env
 	now := env.Now()
 	h.mu.Lock()
+	h.env = env
 	h.e = e
 	h.winStart = now
 	_, inline := env.Updater().(inlineUpdater)
@@ -78,40 +85,48 @@ func (h *periodicHandler) start(e *entry) error {
 	env.Stats().ComputeCalls.Add(1)
 	v, err := safeWindowCompute(h.compute, now, now)
 	h.cur.Store(h.snaps.put(v, err))
+	h.task = &clock.Task{Data: h}
+	task := h.task
 	h.mu.Unlock()
-	// The ticker fires on the clock goroutine; the actual update runs
-	// on the env's updater (a worker pool for large graphs, Section
-	// 4.3) and takes only the owning component's lock, so trigger
-	// propagation is serialized with structural changes of its own
-	// dependency scope while unrelated scopes proceed in parallel.
-	h.ticker = clock.NewTicker(env.Clock(), h.window, func(now clock.Time) {
-		if h.async {
-			env.Updater().Submit(func() { h.tick(now) })
-		} else {
-			// Inline updater: run the tick directly instead of paying
-			// a closure allocation and dispatch per tick for a Submit
-			// that would execute it synchronously anyway.
-			h.tick(now)
-		}
-	})
+	// Arm the first boundary. The scheduler coalesces every handler
+	// due at the same instant behind one clock event and delivers them
+	// in arm order, so same-instant fire order still follows the
+	// scheduling sequence exactly as with per-handler tickers.
+	env.scheduler().At(now.Add(h.window), task)
 	return nil
 }
 
-func (h *periodicHandler) tick(now clock.Time) {
+// entry returns the handler's entry, or nil once stopped. Used by the
+// batch dispatcher to group due handlers by dependency scope.
+func (h *periodicHandler) entry() *entry {
+	h.mu.Lock()
+	e := h.e
+	h.mu.Unlock()
+	return e
+}
+
+// publish computes and publishes the window ending at now (clamped to
+// the clock for lagging pool batches) without propagating. It returns
+// the handler's entry and the actual window end, or ok == false when
+// the handler is stopped or the tick is stale. The computation runs
+// under the handler's own (metadata-level) lock only, so independent
+// scope batches execute in parallel on the worker pool, and no
+// structural lock is held while user code computes.
+func (h *periodicHandler) publish(now clock.Time) (e *entry, end clock.Time, ok bool) {
 	h.mu.Lock()
 	if h.stopped || h.e == nil {
 		h.mu.Unlock()
-		return
+		return nil, 0, false
 	}
-	e := h.e
+	e = h.e
 	start := h.winStart
-	env := e.reg.env
-	// A pooled tick may run after the clock has moved past its
+	env := h.env
+	// A pooled batch may run after the clock has moved past its
 	// scheduled boundary (Submit never blocks, so the clock goroutine
 	// can outpace the workers). Measure up to the clock's current
 	// position: the window then covers exactly the probe events
 	// gathered since winStart instead of attributing them all to the
-	// first lagging window and none to the rest. Inline ticks run
+	// first lagging window and none to the rest. Inline batches run
 	// synchronously on the clock goroutine and are never late.
 	if h.async {
 		if cur := env.Now(); cur > now {
@@ -119,30 +134,33 @@ func (h *periodicHandler) tick(now clock.Time) {
 		}
 	}
 	if now <= start {
-		// A worker pool may also execute tick tasks out of order; a
-		// stale tick must not overwrite a newer published value.
+		// A worker pool may also execute batches out of order; a stale
+		// tick must not overwrite a newer published value.
 		h.mu.Unlock()
-		return
+		return nil, 0, false
 	}
 	stats := env.Stats()
 	stats.ComputeCalls.Add(1)
 	stats.PeriodicUpdates.Add(1)
-	// The computation runs under the handler's own (metadata-level)
-	// lock only, so independent periodic updates execute in parallel
-	// on the worker pool. The result is published atomically for
-	// lock-free readers.
 	v, err := safeWindowCompute(h.compute, start, now)
 	h.cur.Store(h.snaps.put(v, err))
 	h.winStart = now
 	h.mu.Unlock()
+	return e, now, true
+}
 
-	// Publishing a periodic value notifies dependent triggered
-	// handlers along the inverted dependency graph. Propagation is a
-	// structural traversal batched under the owning component's lock
-	// only — and only when the item actually has dependents.
+// tick is the legacy per-handler update path, kept for the
+// WithPerHandlerTicks ablation: publish, then propagate this
+// handler's update alone under the scope lock.
+func (h *periodicHandler) tick(now clock.Time) {
+	e, end, ok := h.publish(now)
+	if !ok {
+		return
+	}
 	if e.ndeps.Load() > 0 {
+		env := e.reg.env
 		sc := env.lockScope(e.reg)
-		e.reg.propagateLocked(e, now)
+		e.reg.propagateLocked(e, end)
 		sc.unlock()
 	}
 }
@@ -152,10 +170,13 @@ func (h *periodicHandler) stop() {
 	h.stopped = true
 	h.e = nil
 	h.cur.Store(nil)
-	t := h.ticker
-	h.ticker = nil
+	t := h.task
+	env := h.env
+	h.task = nil
 	h.mu.Unlock()
-	if t != nil {
-		t.Stop()
+	if t != nil && env != nil {
+		// Cancel retires the task permanently: a concurrent dispatch
+		// that already detached it will find its re-arm ignored.
+		env.scheduler().Cancel(t)
 	}
 }

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// Cached propagation plans.
+//
+// Trigger propagation from a fixed seed set over an unchanged
+// dependency graph always visits the same entries in the same order:
+// the affected closure is a function of the graph structure alone, and
+// the topological order is made deterministic by the creation-sequence
+// tie-break. Steady-state workloads — periodic boundaries, repeated
+// FireEvent/NotifyChanged on a stable subscription set — therefore
+// re-derive the identical closure on every publish. The plan cache
+// memoizes the ordered affected-entry slice per seed set on the
+// component root, turning repeat propagation into an allocation-free
+// walk of a precomputed slice.
+//
+// Invalidation: every structural mutation of a component — entry
+// inclusion (new trigger edges), entry removal, component merges, and
+// (conservatively) redefinition — bumps the root's structVer and drops
+// its plans. A cached plan additionally records the structVer it was
+// built under and the exact seed-seq set (guarding against hash
+// collisions), so a stale or colliding plan can never be executed.
+// All cache state lives on the component root and is guarded by the
+// root's structural lock, which every propagation path already holds.
+
+// propPlan is one memoized propagation: the topologically ordered
+// affected entries for one seed set at one structural version.
+type propPlan struct {
+	ver   uint64
+	seeds []int64 // sorted deduplicated seed seqs (collision guard)
+	order []*entry
+}
+
+// maxPlansPerScope bounds the cache per component; steady workloads
+// use a handful of distinct seed sets, so a full reset on overflow is
+// simpler than LRU and costs one rebuild per set.
+const maxPlansPerScope = 64
+
+// bumpStructLocked invalidates every cached plan of the component.
+// The caller must hold the root's lock (c must be a root or about to
+// stop being one under both locks, see union).
+func (c *component) bumpStructLocked() {
+	c.structVer++
+	if len(c.plans) > 0 {
+		clear(c.plans)
+	}
+}
+
+// bumpStruct invalidates the plans of the component covering r. The
+// component's structural lock must be held.
+func bumpStruct(r *Registry) {
+	find(r.comp).bumpStructLocked()
+}
+
+// planFor returns the ordered affected-entry slice for seeds,
+// memoizing it on the seeds' component root. Seeds spanning several
+// roots (possible only transiently, while a multi-registry batch
+// observes a merge in flight) fall back to an uncached build. The
+// structural lock(s) covering the seeds must be held.
+func (env *Env) planFor(seeds []*entry) []*entry {
+	root := find(seeds[0].reg.comp)
+	for _, s := range seeds[1:] {
+		if find(s.reg.comp) != root {
+			return env.buildPlanLocked(seeds)
+		}
+	}
+
+	// Canonical cache key: the sorted, deduplicated seed seqs.
+	// Insertion sort on the root-owned scratch keeps the hit path
+	// allocation-free; seed sets are small.
+	kb := root.keyBuf[:0]
+	for _, s := range seeds {
+		kb = append(kb, s.seq)
+	}
+	for i := 1; i < len(kb); i++ {
+		for j := i; j > 0 && kb[j] < kb[j-1]; j-- {
+			kb[j], kb[j-1] = kb[j-1], kb[j]
+		}
+	}
+	u := 0
+	for i, q := range kb {
+		if i == 0 || q != kb[u-1] {
+			kb[u] = q
+			u++
+		}
+	}
+	kb = kb[:u]
+	root.keyBuf = kb
+
+	// FNV-1a over the seq bytes.
+	h := uint64(14695981039346656037)
+	for _, q := range kb {
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(byte(q >> s))
+			h *= 1099511628211
+		}
+	}
+
+	if p := root.plans[h]; p != nil && p.ver == root.structVer && seqsEqual(p.seeds, kb) {
+		env.stats.PlanCacheHits.Add(1)
+		return p.order
+	}
+	env.stats.PlanCacheMisses.Add(1)
+	order := env.buildPlanLocked(seeds)
+	if root.plans == nil {
+		root.plans = make(map[uint64]*propPlan)
+	}
+	if len(root.plans) >= maxPlansPerScope {
+		clear(root.plans)
+	}
+	root.plans[h] = &propPlan{
+		ver:   root.structVer,
+		seeds: append([]int64(nil), kb...),
+		order: order,
+	}
+	return order
+}
+
+func seqsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildPlanLocked computes the ordered affected-entry slice for seeds:
+// the triggerable entries among the seeds and all their transitive
+// triggerable dependents, in topological order of the dependency graph
+// (edges run from dependency to dependent), ready entries processed in
+// creation order for determinism. This is the plan-cache miss path;
+// executing the result is refreshClosureLocked's job.
+func (env *Env) buildPlanLocked(seeds []*entry) []*entry {
+	affected := make(map[*entry]bool)
+	var expand func(e *entry)
+	expand = func(e *entry) {
+		if affected[e] {
+			return
+		}
+		if _, ok := e.handler.(triggerable); !ok {
+			// Non-triggerable dependents absorb the notification:
+			// on-demand handlers recompute on access anyway, and
+			// periodic handlers follow their own schedule.
+			return
+		}
+		affected[e] = true
+		for d := range e.dependents {
+			expand(d)
+		}
+	}
+	for _, s := range seeds {
+		expand(s)
+	}
+	if len(affected) == 0 {
+		return nil
+	}
+
+	indeg := make(map[*entry]int, len(affected))
+	for e := range affected {
+		for _, g := range e.depGroups {
+			for _, de := range g {
+				if affected[de] {
+					indeg[e]++
+				}
+			}
+		}
+	}
+	ready := make([]*entry, 0, len(affected))
+	for e := range affected {
+		if indeg[e] == 0 {
+			ready = append(ready, e)
+		}
+	}
+	sortEntries(ready)
+	order := make([]*entry, 0, len(affected))
+	for len(ready) > 0 {
+		e := ready[0]
+		ready = ready[1:]
+		order = append(order, e)
+		next := make([]*entry, 0)
+		for d := range e.dependents {
+			if !affected[d] {
+				continue
+			}
+			// Each edge between e and d may be declared several times
+			// (multiple DepRefs); indeg counted each, so decrement per
+			// declared edge.
+			edges := 0
+			for _, g := range d.depGroups {
+				for _, de := range g {
+					if de == e {
+						edges++
+					}
+				}
+			}
+			indeg[d] -= edges
+			if indeg[d] == 0 {
+				next = append(next, d)
+			}
+		}
+		sortEntries(next)
+		ready = append(ready, next...)
+	}
+	if len(order) != len(affected) {
+		// A cycle among triggered handlers would starve the queue;
+		// inclusion-time cycle detection should make this impossible.
+		panic(fmt.Sprintf("core: trigger propagation planned %d of %d entries (dependency cycle?)", len(order), len(affected)))
+	}
+	return order
+}
+
+// refreshClosureLocked refreshes the triggerable entries among seeds
+// and all their transitive triggerable dependents, in topological
+// order of the dependency graph, so every handler recomputes after all
+// of its updated dependencies (the update-order requirement of Section
+// 3.2.3). The lock of the component(s) holding the seeds must be held.
+// The walk itself executes a (usually cached) propagation plan and is
+// allocation-free on cache hits.
+func (env *Env) refreshClosureLocked(seeds []*entry, now clock.Time) {
+	if env.naivePropagation {
+		env.refreshNaiveLocked(seeds, now)
+		return
+	}
+	if len(seeds) == 0 {
+		return
+	}
+	for _, e := range env.planFor(seeds) {
+		env.stats.TriggerNotifications.Add(1)
+		if t, ok := e.handler.(triggerable); ok {
+			// Errors are stored in the handler and surface at the
+			// consumer's next read.
+			_ = t.refresh(now)
+		}
+	}
+}

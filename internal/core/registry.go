@@ -186,6 +186,10 @@ func (r *Registry) Define(def *Definition) error {
 		return fmt.Errorf("%w: %s/%s", ErrItemInUse, r.id, def.Kind)
 	}
 	r.defs[def.Kind] = def
+	// Redefinition cannot change the edges of included entries (the
+	// item must not be in use), but bump conservatively so plans never
+	// outlive a definition change.
+	bumpStruct(r)
 	return nil
 }
 
@@ -501,6 +505,9 @@ func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool
 	r.mu.Lock()
 	r.entries[kind] = e
 	r.mu.Unlock()
+	// The new entry and its trigger edges changed the component's
+	// propagation structure; cached plans are stale.
+	bumpStruct(r)
 	r.env.stats.HandlersCreated.Add(1)
 
 	if err := handler.start(e); err != nil {
@@ -577,6 +584,10 @@ func (e *entry) releaseLocked() {
 			de.releaseLocked()
 		}
 	}
+	// Removing the entry (and its trigger edges) invalidates every
+	// cached propagation plan of the component — a stale plan would
+	// refresh a dead handler.
+	bumpStruct(r)
 	r.env.stats.HandlersRemoved.Add(1)
 }
 
@@ -592,10 +603,15 @@ func (r *Registry) FireEvent(name string) {
 	if len(set) == 0 {
 		return
 	}
-	seeds := make([]*entry, 0, len(set))
+	// Seeds are collected into the component root's scratch buffer:
+	// the root is locked for the whole propagation, so the buffer has
+	// a single writer and steady-state event firing allocates nothing.
+	root := find(r.comp)
+	seeds := root.seedBuf[:0]
 	for e := range set {
 		seeds = append(seeds, e)
 	}
+	root.seedBuf = seeds
 	r.env.refreshClosureLocked(seeds, r.env.Now())
 }
 
@@ -617,107 +633,13 @@ func (r *Registry) NotifyChanged(kind Kind) {
 // dependents. The owning component's lock must be held; the dependent
 // closure cannot leave the component.
 func (r *Registry) propagateLocked(e *entry, now clock.Time) {
-	seeds := make([]*entry, 0, len(e.dependents))
+	root := find(r.comp)
+	seeds := root.seedBuf[:0]
 	for d := range e.dependents {
 		seeds = append(seeds, d)
 	}
+	root.seedBuf = seeds
 	r.env.refreshClosureLocked(seeds, now)
-}
-
-// refreshClosureLocked refreshes the triggerable entries among seeds
-// and all their transitive triggerable dependents, in topological
-// order of the dependency graph, so every handler recomputes after all
-// of its updated dependencies (the update-order requirement of Section
-// 3.2.3). The lock of the component holding the seeds must be held.
-func (env *Env) refreshClosureLocked(seeds []*entry, now clock.Time) {
-	if env.naivePropagation {
-		env.refreshNaiveLocked(seeds, now)
-		return
-	}
-	affected := make(map[*entry]bool)
-	var expand func(e *entry)
-	expand = func(e *entry) {
-		if affected[e] {
-			return
-		}
-		if _, ok := e.handler.(triggerable); !ok {
-			// Non-triggerable dependents absorb the notification:
-			// on-demand handlers recompute on access anyway, and
-			// periodic handlers follow their own schedule.
-			return
-		}
-		affected[e] = true
-		for d := range e.dependents {
-			expand(d)
-		}
-	}
-	for _, s := range seeds {
-		expand(s)
-	}
-	if len(affected) == 0 {
-		return
-	}
-
-	// Topological order among the affected entries (edges run from
-	// dependency to dependent). Ready entries are processed in
-	// creation order for determinism.
-	indeg := make(map[*entry]int, len(affected))
-	for e := range affected {
-		for _, g := range e.depGroups {
-			for _, de := range g {
-				if affected[de] {
-					indeg[e]++
-				}
-			}
-		}
-	}
-	ready := make([]*entry, 0, len(affected))
-	for e := range affected {
-		if indeg[e] == 0 {
-			ready = append(ready, e)
-		}
-	}
-	sortEntries(ready)
-	done := 0
-	for len(ready) > 0 {
-		e := ready[0]
-		ready = ready[1:]
-		done++
-		env.stats.TriggerNotifications.Add(1)
-		if t, ok := e.handler.(triggerable); ok {
-			// Errors are stored in the handler and surface at the
-			// consumer's next read.
-			_ = t.refresh(now)
-		}
-		next := make([]*entry, 0)
-		for d := range e.dependents {
-			if !affected[d] {
-				continue
-			}
-			// Each edge between e and d may be declared several
-			// times (multiple DepRefs); indeg counted each, so
-			// decrement per declared edge.
-			edges := 0
-			for _, g := range d.depGroups {
-				for _, de := range g {
-					if de == e {
-						edges++
-					}
-				}
-			}
-			indeg[d] -= edges
-			if indeg[d] == 0 {
-				next = append(next, d)
-			}
-		}
-		sortEntries(next)
-		ready = append(ready, next...)
-	}
-	if done != len(affected) {
-		// A cycle among triggered handlers would starve the queue;
-		// inclusion-time cycle detection should make this impossible.
-		panic(fmt.Sprintf("core: trigger propagation refreshed %d of %d entries (dependency cycle?)", done, len(affected)))
-	}
 }
 
 // sortEntries orders entries by creation sequence for deterministic

@@ -42,6 +42,16 @@ type component struct {
 	// parent is nil at a root; set once when the component merges into
 	// another, only while both roots' locks are held.
 	parent atomic.Pointer[component]
+
+	// Propagation-plan cache and reusable scratch space, guarded by mu
+	// and meaningful at roots (see plan.go). structVer counts
+	// structural mutations of the component — entry inclusion/removal,
+	// component merges, redefinitions — and stamps cached plans so a
+	// stale plan can never be executed.
+	structVer uint64
+	plans     map[uint64]*propPlan
+	seedBuf   []*entry
+	keyBuf    []int64
 }
 
 // newComponent allocates a fresh singleton component.
@@ -85,6 +95,11 @@ func union(a, b *component) *component {
 		a, b = b, a
 	}
 	b.parent.Store(a)
+	// The merged component has new structure; cached propagation plans
+	// of both halves are stale. The loser can never be consulted again
+	// (it is no longer a root), so clearing it just releases memory.
+	a.bumpStructLocked()
+	b.plans = nil
 	return a
 }
 

@@ -33,6 +33,18 @@ type Stats struct {
 	// IncludeTraversals counts depth-first inclusion steps performed
 	// during subscriptions.
 	IncludeTraversals atomic.Int64
+	// ScopeBatches counts batched tick dispatches: one per dependency
+	// scope per window boundary on the batched update pipeline.
+	ScopeBatches atomic.Int64
+	// BatchedTicks counts periodic ticks executed inside scope
+	// batches; BatchedTicks/ScopeBatches is the mean batch size.
+	BatchedTicks atomic.Int64
+	// PlanCacheHits counts propagations served from a cached
+	// propagation plan (allocation-free walk).
+	PlanCacheHits atomic.Int64
+	// PlanCacheMisses counts propagations that had to (re)build their
+	// plan — first use of a seed set or use after a structural change.
+	PlanCacheMisses atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -47,6 +59,10 @@ type Snapshot struct {
 	TriggerNotifications int64
 	EventsFired          int64
 	IncludeTraversals    int64
+	ScopeBatches         int64
+	BatchedTicks         int64
+	PlanCacheHits        int64
+	PlanCacheMisses      int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -62,6 +78,10 @@ func (s *Stats) Snapshot() Snapshot {
 		TriggerNotifications: s.TriggerNotifications.Load(),
 		EventsFired:          s.EventsFired.Load(),
 		IncludeTraversals:    s.IncludeTraversals.Load(),
+		ScopeBatches:         s.ScopeBatches.Load(),
+		BatchedTicks:         s.BatchedTicks.Load(),
+		PlanCacheHits:        s.PlanCacheHits.Load(),
+		PlanCacheMisses:      s.PlanCacheMisses.Load(),
 	}
 }
 
@@ -79,7 +99,30 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		TriggerNotifications: s.TriggerNotifications - t.TriggerNotifications,
 		EventsFired:          s.EventsFired - t.EventsFired,
 		IncludeTraversals:    s.IncludeTraversals - t.IncludeTraversals,
+		ScopeBatches:         s.ScopeBatches - t.ScopeBatches,
+		BatchedTicks:         s.BatchedTicks - t.BatchedTicks,
+		PlanCacheHits:        s.PlanCacheHits - t.PlanCacheHits,
+		PlanCacheMisses:      s.PlanCacheMisses - t.PlanCacheMisses,
 	}
+}
+
+// MeanBatchSize returns the mean number of periodic ticks per scope
+// batch in the snapshot, or 0 when no batches ran.
+func (s Snapshot) MeanBatchSize() float64 {
+	if s.ScopeBatches == 0 {
+		return 0
+	}
+	return float64(s.BatchedTicks) / float64(s.ScopeBatches)
+}
+
+// PlanHitRate returns the fraction of propagations served from a
+// cached plan, or 0 when no propagation ran.
+func (s Snapshot) PlanHitRate() float64 {
+	total := s.PlanCacheHits + s.PlanCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PlanCacheHits) / float64(total)
 }
 
 // UpdateWork returns the total number of maintenance operations in the

@@ -60,6 +60,14 @@ func (h *triggeredHandler) start(e *entry) error {
 }
 
 // refresh implements triggerable.
+//
+// h.mu is deliberately held across the user compute: it serializes
+// recompute+publish against start/stop so a stopped handler can never
+// publish. This is safe because readers never take it — the compute
+// reaches sibling and dependency values through the lock-free snapshot
+// path — and no caller holds one handler's mutex while refreshing
+// another (propagation refreshes handlers strictly one at a time under
+// the scope lock).
 func (h *triggeredHandler) refresh(now clock.Time) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -1,0 +1,206 @@
+package modelcheck
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Hand-built workloads that pin the batched update pipeline's
+// same-instant semantics: several periodic handlers sharing one
+// boundary, diamond dependents across publishers, and order
+// observability through on-demand intermediaries. runLockstep compares
+// values AND the refresh count (Stats.TriggerNotifications vs the
+// model's Refreshes) after every op, so these workloads fail if a
+// triggered dependent of k same-boundary publishers refreshes k times
+// per instant instead of once, or if fire order drifts from the
+// scheduling sequence.
+
+// wlSharedBoundary: four periodic publishers with the same window in
+// one registry, one triggered item fanning in over all four and one
+// over a pair. Every window boundary is shared by all publishers.
+func wlSharedBoundary() *Workload {
+	w := &Workload{Seed: -101}
+	reg := RegSpec{ID: "r0", Parent: -1}
+	for i := 0; i < 4; i++ {
+		reg.Items = append(reg.Items, ItemSpec{
+			Kind:   core.Kind(fmt.Sprintf("p%d", i)),
+			Mech:   core.PeriodicMechanism,
+			Window: 5,
+			Base:   float64(i),
+		})
+	}
+	fanin := ItemSpec{Kind: "fanin", Mech: core.TriggeredMechanism, Base: 1000, Events: []string{"e0"}}
+	for i := 0; i < 4; i++ {
+		fanin.Deps = append(fanin.Deps, DepSpec{Sel: SelSelf, Kind: core.Kind(fmt.Sprintf("p%d", i))})
+	}
+	reg.Items = append(reg.Items, fanin)
+	reg.Items = append(reg.Items, ItemSpec{
+		Kind: "pair", Mech: core.TriggeredMechanism, Base: 2000,
+		Deps: []DepSpec{{Sel: SelSelf, Kind: "p0"}, {Sel: SelSelf, Kind: "p3"}},
+	})
+	w.Regs = []RegSpec{reg}
+	w.Ops = []Op{
+		{Kind: OpSubscribe, Reg: 0, Item: "fanin"},
+		{Kind: OpSubscribe, Reg: 0, Item: "pair"},
+		{Kind: OpRead, Reg: 0, Item: "fanin"},
+		{Kind: OpAdvance, Arg: 5}, // all four publish; fanin+pair refresh once each
+		{Kind: OpRead, Reg: 0, Item: "fanin"},
+		{Kind: OpRead, Reg: 0, Item: "pair"},
+		{Kind: OpAdvance, Arg: 3},
+		{Kind: OpAdvance, Arg: 2}, // boundary 10
+		{Kind: OpRead, Reg: 0, Item: "fanin"},
+		{Kind: OpAdvance, Arg: 17}, // crosses boundaries 15, 20, 25
+		{Kind: OpRead, Reg: 0, Item: "pair"},
+		{Kind: OpFireEvent, Reg: 0, Event: "e0"},
+		{Kind: OpUnsubscribe, Arg: 1}, // drop pair
+		{Kind: OpAdvance, Arg: 5},     // boundary 30 with one dependent left
+		{Kind: OpSubscribe, Reg: 0, Item: "pair"},
+		{Kind: OpAdvance, Arg: 10}, // boundaries 35, 40
+		{Kind: OpRead, Reg: 0, Item: "pair"},
+	}
+	return w
+}
+
+// wlDiamond: two periodic publishers with windows 5 and 10 (shared
+// boundary every 10), triggered mid-items on each, a triggered top
+// over both mids, and a triggered observer reading one publisher
+// through an on-demand intermediary — the configuration where both the
+// coalesced refresh count and the fire order are value-observable.
+func wlDiamond() *Workload {
+	w := &Workload{Seed: -102}
+	reg := RegSpec{ID: "r0", Parent: -1, Items: []ItemSpec{
+		{Kind: "pA", Mech: core.PeriodicMechanism, Window: 10, Base: 1},
+		{Kind: "pB", Mech: core.PeriodicMechanism, Window: 5, Base: 2},
+		{Kind: "mA", Mech: core.TriggeredMechanism, Base: 10,
+			Deps: []DepSpec{{Sel: SelSelf, Kind: "pA"}}},
+		{Kind: "mB", Mech: core.TriggeredMechanism, Base: 20,
+			Deps: []DepSpec{{Sel: SelSelf, Kind: "pB"}}},
+		{Kind: "top", Mech: core.TriggeredMechanism, Base: 30,
+			Deps: []DepSpec{{Sel: SelSelf, Kind: "mA"}, {Sel: SelSelf, Kind: "mB"}}},
+		{Kind: "od", Mech: core.OnDemandMechanism, Base: 40,
+			Deps: []DepSpec{{Sel: SelSelf, Kind: "pA"}}},
+		{Kind: "obs", Mech: core.TriggeredMechanism, Base: 50,
+			Deps: []DepSpec{{Sel: SelSelf, Kind: "od"}, {Sel: SelSelf, Kind: "pB"}}},
+	}}
+	w.Regs = []RegSpec{reg}
+	w.Ops = []Op{
+		{Kind: OpSubscribe, Reg: 0, Item: "top"},
+		{Kind: OpSubscribe, Reg: 0, Item: "obs"},
+		{Kind: OpAdvance, Arg: 5}, // pB only: mB, top, obs refresh
+		{Kind: OpRead, Reg: 0, Item: "top"},
+		{Kind: OpRead, Reg: 0, Item: "obs"},
+		{Kind: OpAdvance, Arg: 5}, // shared boundary 10: pA+pB coalesce
+		{Kind: OpRead, Reg: 0, Item: "top"},
+		{Kind: OpRead, Reg: 0, Item: "obs"},
+		{Kind: OpNotifyChanged, Reg: 0, Item: "od"},
+		{Kind: OpAdvance, Arg: 20}, // boundaries 15, 20 (shared), 25, 30 (shared)
+		{Kind: OpRead, Reg: 0, Item: "top"},
+		{Kind: OpUnsubscribe, Arg: 0}, // drop top; mids go with it
+		{Kind: OpAdvance, Arg: 10},
+		{Kind: OpRead, Reg: 0, Item: "obs"},
+	}
+	return w
+}
+
+// wlCrossRegistry: publishers in two registries connected by a
+// dependency edge share one scope and one boundary; a third registry
+// stays in its own scope with the same window, so the same instant
+// spans two scope batches.
+func wlCrossRegistry() *Workload {
+	w := &Workload{Seed: -103}
+	w.Regs = []RegSpec{
+		{ID: "r0", Parent: -1, Items: []ItemSpec{
+			{Kind: "k0", Mech: core.PeriodicMechanism, Window: 3, Base: 5},
+		}},
+		{ID: "r1", Parent: -1, Inputs: []int{0}, Items: []ItemSpec{
+			{Kind: "k0", Mech: core.PeriodicMechanism, Window: 3, Base: 6},
+			{Kind: "both", Mech: core.TriggeredMechanism, Base: 100,
+				Deps: []DepSpec{{Sel: SelInput, Index: 0, Kind: "k0"}, {Sel: SelSelf, Kind: "k0"}}},
+		}},
+		{ID: "r2", Parent: -1, Items: []ItemSpec{
+			{Kind: "k0", Mech: core.PeriodicMechanism, Window: 3, Base: 7},
+			{Kind: "t", Mech: core.TriggeredMechanism, Base: 200,
+				Deps: []DepSpec{{Sel: SelSelf, Kind: "k0"}}},
+		}},
+	}
+	w.Ops = []Op{
+		{Kind: OpSubscribe, Reg: 1, Item: "both"},
+		{Kind: OpSubscribe, Reg: 2, Item: "t"},
+		{Kind: OpAdvance, Arg: 3}, // three publishers, two scopes, one instant
+		{Kind: OpRead, Reg: 1, Item: "both"},
+		{Kind: OpRead, Reg: 2, Item: "t"},
+		{Kind: OpAdvance, Arg: 6}, // boundaries 6, 9
+		{Kind: OpRead, Reg: 1, Item: "both"},
+		{Kind: OpAdvance, Arg: 1},
+		{Kind: OpAdvance, Arg: 2}, // boundary 12
+		{Kind: OpRead, Reg: 2, Item: "t"},
+	}
+	return w
+}
+
+func TestCoalescedBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		wl   *Workload
+	}{
+		{"SharedBoundary", wlSharedBoundary()},
+		{"Diamond", wlDiamond()},
+		{"CrossRegistry", wlCrossRegistry()},
+	} {
+		t.Run(tc.name, func(t *testing.T) { runLockstep(t, tc.name, tc.wl) })
+	}
+}
+
+// TestCoalescedRefreshCount asserts the acceptance criterion directly
+// against core, without the model in the loop: a triggered dependent
+// of k same-boundary periodic publishers refreshes exactly once per
+// window boundary.
+func TestCoalescedRefreshCount(t *testing.T) {
+	const k = 8
+	wl := &Workload{Seed: -104}
+	reg := RegSpec{ID: "r0", Parent: -1}
+	fanin := ItemSpec{Kind: "fanin", Mech: core.TriggeredMechanism, Base: 0}
+	for i := 0; i < k; i++ {
+		kind := core.Kind(fmt.Sprintf("p%d", i))
+		reg.Items = append(reg.Items, ItemSpec{Kind: kind, Mech: core.PeriodicMechanism, Window: 10, Base: float64(i)})
+		fanin.Deps = append(fanin.Deps, DepSpec{Sel: SelSelf, Kind: kind})
+	}
+	reg.Items = append(reg.Items, fanin)
+	wl.Regs = []RegSpec{reg}
+
+	sys := NewSystem(wl, nil, nil)
+	sub, err := sys.Regs[0].Subscribe("fanin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+
+	stats := sys.Env.Stats()
+	const boundaries = 5
+	for i := 0; i < boundaries; i++ {
+		before := stats.TriggerNotifications.Load()
+		sys.Clk.Advance(10)
+		got := stats.TriggerNotifications.Load() - before
+		if got != 1 {
+			t.Fatalf("boundary %d: %d refreshes of the fan-in dependent, want exactly 1 (k=%d publishers)", i, got, k)
+		}
+	}
+	if got := stats.PeriodicUpdates.Load(); got != k*boundaries {
+		t.Fatalf("PeriodicUpdates = %d, want %d", got, k*boundaries)
+	}
+	// The whole registry is one dependency scope: each boundary is one
+	// scope batch of k ticks.
+	if got := stats.ScopeBatches.Load(); got != boundaries {
+		t.Fatalf("ScopeBatches = %d, want %d", got, boundaries)
+	}
+	if got := stats.BatchedTicks.Load(); got != k*boundaries {
+		t.Fatalf("BatchedTicks = %d, want %d", got, k*boundaries)
+	}
+	// Identical seed set every boundary: the propagation plan is built
+	// once and reused.
+	if hits, misses := stats.PlanCacheHits.Load(), stats.PlanCacheMisses.Load(); misses != 1 || hits != boundaries-1 {
+		t.Fatalf("plan cache hits=%d misses=%d, want %d/1", hits, misses, boundaries-1)
+	}
+}

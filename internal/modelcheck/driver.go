@@ -59,12 +59,21 @@ func extCounts(wl *Workload, subs []heldSub) map[core.ItemKey]int {
 func RunSequential(t *testing.T, seed int64) {
 	t.Helper()
 	wl := Generate(seed, Config{Ops: 80})
+	runLockstep(t, fmt.Sprintf("seed=%d", seed), wl)
+}
+
+// runLockstep executes a workload's op script against the real system
+// (inline updater) and the model in lockstep, comparing after every
+// op. It is shared by the seeded sequential driver and the hand-built
+// coalescing workloads.
+func runLockstep(t *testing.T, label string, wl *Workload) {
+	t.Helper()
 	sys := NewSystem(wl, nil, nil)
 	model := NewModel(wl)
 	var subs []heldSub
 
 	for i, op := range wl.Ops {
-		at := fmt.Sprintf("seed=%d op#%d (%s)", seed, i, op)
+		at := fmt.Sprintf("%s op#%d (%s)", label, i, op)
 		switch op.Kind {
 		case OpSubscribe:
 			sub, err := sys.Regs[op.Reg].Subscribe(op.Item)
@@ -127,8 +136,8 @@ func RunSequential(t *testing.T, seed int64) {
 		s.sub.Unsubscribe()
 		model.Unsubscribe(s.key)
 	}
-	checkClean(t, fmt.Sprintf("seed=%d teardown", seed), sys)
-	checkWindowLogs(t, fmt.Sprintf("seed=%d", seed), sys, nil)
+	checkClean(t, label+" teardown", sys)
+	checkWindowLogs(t, label, sys, nil)
 }
 
 // compareStates checks full observable equivalence between the real
@@ -137,6 +146,12 @@ func compareStates(t *testing.T, at string, sys *System, model *Model, subs []he
 	t.Helper()
 	if got, want := sys.Clk.Now(), model.Now(); got != want {
 		t.Fatalf("%s: clock at %d, model at %d", at, got, want)
+	}
+	// Pin the coalesced refresh count, not just the resulting values: a
+	// triggered dependent of k same-boundary publishers must refresh
+	// exactly once per instant.
+	if got, want := sys.Env.Stats().TriggerNotifications.Load(), model.Refreshes(); got != want {
+		t.Fatalf("%s: %d trigger notifications, model %d refreshes", at, got, want)
 	}
 	for ri := range sys.Wl.Regs {
 		reg := sys.Regs[ri]

@@ -18,9 +18,11 @@ import (
 //   - include/release mirror includeLocked/releaseLocked: depth-first
 //     inclusion with rollback on failure, sharing via reference
 //     counts, recursive release when a count reaches zero;
-//   - Advance mirrors the virtual clock + inline ticker: periodic
-//     items fire at exact window boundaries in (time, tiebreak) order,
-//     publish the window value, then propagate;
+//   - Advance mirrors the virtual clock + batched tick dispatch:
+//     periodic items fire at exact window boundaries in (time,
+//     tiebreak) order, every item due at one instant publishes its
+//     window value, then trigger propagation runs once over the merged
+//     seed set (same-instant coalescing);
 //   - FireEvent/NotifyChanged mirror refreshClosureLocked: expansion
 //     through triggered handlers only, refresh in topological order.
 //
@@ -40,6 +42,13 @@ type Model struct {
 	// its own refresh, so same-instant processing order matters.
 	cseq uint64
 	eseq uint64
+
+	// refreshes counts triggered-item refreshes performed by
+	// propagate; it mirrors core's Stats.TriggerNotifications and pins
+	// the coalesced refresh count (a triggered dependent of k
+	// same-boundary publishers refreshes once per instant, not k
+	// times).
+	refreshes int64
 }
 
 // mItem is the model's entry: one included item with its resolved
@@ -76,6 +85,11 @@ func NewModel(wl *Workload) *Model {
 
 // Now returns the model's clock position.
 func (m *Model) Now() clock.Time { return m.now }
+
+// Refreshes returns the number of triggered-item refreshes performed
+// so far; it must equal the system's Stats.TriggerNotifications after
+// every operation (with the inline updater).
+func (m *Model) Refreshes() int64 { return m.refreshes }
 
 // IsIncluded reports whether the item is included.
 func (m *Model) IsIncluded(ri int, kind core.Kind) bool {
@@ -260,36 +274,55 @@ func (m *Model) sumDeps(it *mItem) float64 {
 	return total
 }
 
-// Advance mirrors Virtual.Advance with the inline updater: periodic
-// items fire at exact window boundaries in (time, event-sequence)
-// order — the virtual clock's heap order — each fire publishing the
-// window value, rescheduling (which assigns the next event sequence),
-// and propagating to dependents.
+// Advance mirrors Virtual.Advance with the inline updater over the
+// batched tick pipeline: instants are processed in order, and at each
+// instant every periodic item due then fires in event-sequence order
+// (the arm order of the scheduler bucket — publish the window value,
+// reschedule, which assigns the next event sequence), after which
+// trigger propagation runs ONCE over the merged dependents of all
+// same-instant publishers. Coalescing is observable both through
+// values (a triggered dependent of publishers A and B reads both new
+// windows in its single refresh) and through the refresh count.
 func (m *Model) Advance(d int64) {
 	target := m.now.Add(clock.Duration(d))
 	for {
-		var best *mItem
+		// Earliest due boundary <= target.
+		var fireAt clock.Time
+		found := false
 		for _, it := range m.items {
 			if it.spec.Mech != core.PeriodicMechanism || it.nextFire > target {
 				continue
 			}
-			if best == nil || it.nextFire < best.nextFire ||
-				(it.nextFire == best.nextFire && it.evSeq < best.evSeq) {
-				best = it
+			if !found || it.nextFire < fireAt {
+				fireAt = it.nextFire
+				found = true
 			}
 		}
-		if best == nil {
+		if !found {
 			break
 		}
-		if best.nextFire > m.now {
-			m.now = best.nextFire
+		if fireAt > m.now {
+			m.now = fireAt
 		}
-		best.val = encodeWindow(best.winStart, m.now)
-		best.winStart = m.now
-		best.nextFire = m.now.Add(best.spec.Window)
-		best.evSeq = m.eseq // the ticker reschedules after the tick
-		m.eseq++
-		m.propagate(dependentKeys(best))
+		// All items due at this instant, in event-sequence order (the
+		// order they joined the scheduler bucket).
+		var due []*mItem
+		for _, it := range m.items {
+			if it.spec.Mech == core.PeriodicMechanism && it.nextFire <= m.now {
+				due = append(due, it)
+			}
+		}
+		sort.Slice(due, func(i, j int) bool { return due[i].evSeq < due[j].evSeq })
+		var seeds []ikey
+		for _, it := range due {
+			it.val = encodeWindow(it.winStart, m.now)
+			it.winStart = m.now
+			it.nextFire = m.now.Add(it.spec.Window)
+			it.evSeq = m.eseq // re-armed in bucket order at dispatch
+			m.eseq++
+			seeds = append(seeds, dependentKeys(it)...)
+		}
+		m.propagate(seeds)
 	}
 	if target > m.now {
 		m.now = target
@@ -378,6 +411,7 @@ func (m *Model) propagate(seeds []ikey) {
 		k := ready[0]
 		ready = ready[1:]
 		it := m.items[k]
+		m.refreshes++
 		it.val = it.spec.Base + m.sumDeps(it) + 0.01*float64(m.now)
 		var next []ikey
 		for d := range it.dependents {

@@ -256,6 +256,23 @@ func (p OverheadProfile) UpdatesPerTimeUnit() float64 {
 	return float64(p.Window.UpdateWork()) / float64(p.Duration)
 }
 
+// MeanBatchSize returns the mean number of periodic ticks per scope
+// batch in the profiled window — how much same-instant work the
+// batched update pipeline amortized per dispatch.
+func (p OverheadProfile) MeanBatchSize() float64 { return p.Window.MeanBatchSize() }
+
+// PlanHitRate returns the fraction of trigger propagations in the
+// window served from a cached propagation plan.
+func (p OverheadProfile) PlanHitRate() float64 { return p.Window.PlanHitRate() }
+
+// FormatPipeline renders the window's batched-update-pipeline counters
+// as a one-line summary.
+func (p OverheadProfile) FormatPipeline() string {
+	return fmt.Sprintf("scopeBatches=%d batchedTicks=%d meanBatch=%.1f planHits=%d planMisses=%d hitRate=%.3f",
+		p.Window.ScopeBatches, p.Window.BatchedTicks, p.MeanBatchSize(),
+		p.Window.PlanCacheHits, p.Window.PlanCacheMisses, p.PlanHitRate())
+}
+
 // Profiler captures framework overhead over a time window.
 type Profiler struct {
 	env   *core.Env

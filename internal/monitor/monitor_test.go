@@ -177,3 +177,39 @@ func TestOverheadProfileZeroDuration(t *testing.T) {
 		t.Fatal("zero-duration profile should report 0")
 	}
 }
+
+func TestOverheadProfilePipeline(t *testing.T) {
+	env, vc, _ := testSetup()
+	r2 := env.NewRegistry("p")
+	for _, kind := range []core.Kind{"tickA", "tickB"} {
+		kind := kind
+		r2.MustDefine(&core.Definition{
+			Kind: kind,
+			Build: func(*core.BuildContext) (core.Handler, error) {
+				return core.NewPeriodic(10, func(a, b clock.Time) (core.Value, error) { return 1.0, nil }), nil
+			},
+		})
+	}
+	subA, _ := r2.Subscribe("tickA")
+	defer subA.Unsubscribe()
+	subB, _ := r2.Subscribe("tickB")
+	defer subB.Unsubscribe()
+
+	p := NewProfiler(env)
+	vc.Advance(100)
+	prof := p.Stop()
+	// Two same-boundary handlers in one scope: one batch of two ticks
+	// per boundary.
+	if prof.Window.ScopeBatches != 10 || prof.Window.BatchedTicks != 20 {
+		t.Fatalf("ScopeBatches=%d BatchedTicks=%d, want 10/20", prof.Window.ScopeBatches, prof.Window.BatchedTicks)
+	}
+	if got := prof.MeanBatchSize(); got != 2 {
+		t.Fatalf("MeanBatchSize = %v, want 2", got)
+	}
+	line := prof.FormatPipeline()
+	for _, want := range []string{"scopeBatches=10", "batchedTicks=20", "meanBatch=2.0"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("FormatPipeline() = %q, missing %q", line, want)
+		}
+	}
+}

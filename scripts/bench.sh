@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the update-pipeline benchmark suite in a benchstat-friendly
+# format (repeat runs via -count so benchstat can compute variance).
+#
+# Usage:
+#   scripts/bench.sh [out-file] [count]
+#
+# Compare two runs (e.g. before and after a change) with:
+#   benchstat before.txt after.txt
+#
+# The committed before/after numbers for the batched update pipeline
+# live in BENCH_PR3.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench.txt}"
+count="${2:-4}"
+
+benches='BenchmarkValueReadParallel|BenchmarkTriggerPropagation|BenchmarkSubscribeChurnParallel|BenchmarkE4FreshnessOverhead|BenchmarkE5TriggeredVsPeriodic|BenchmarkE9WorkerPool|BenchmarkE19BatchedTicks'
+
+go test -run '^$' -bench "^(${benches})$" -benchmem -count "${count}" . | tee "${out}"
