@@ -139,12 +139,19 @@ func (s *Scheduler) Cancel(t *Task) bool {
 		}
 	}
 	if len(b.tasks) == 0 && s.buckets[b.when] == b {
-		delete(s.buckets, b.when)
-		s.c.Cancel(b.ev)
-		// The canceled event cannot be recycled (reviving a canceled
-		// handle would let a stale Cancel kill the new incarnation).
-		b.ev = nil
-		s.recycleLocked(b)
+		if s.c.Cancel(b.ev) {
+			delete(s.buckets, b.when)
+			// The canceled event cannot be recycled (reviving a canceled
+			// handle would let a stale Cancel kill the new incarnation).
+			b.ev = nil
+			s.recycleLocked(b)
+		}
+		// When the clock reports the event as already fired, b.fire is
+		// in flight (blocked on s.mu). The bucket stays in the map and
+		// stays owned by fire, which detaches and recycles it exactly
+		// once; recycling here too would let a concurrent At hand the
+		// same bucket to a new deadline that fire would then dispatch
+		// at the wrong instant.
 	}
 	return true
 }

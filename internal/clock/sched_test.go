@@ -156,6 +156,103 @@ func TestSchedulerCancel(t *testing.T) {
 	}
 }
 
+// stubClock is a manual clock for racing the scheduler against its own
+// fire callback: Schedule records the callback instead of running it,
+// and Cancel's result is scripted, so a test can model the window where
+// an event has already fired but its callback has not yet entered the
+// scheduler lock.
+type stubClock struct {
+	now       Time
+	fns       []func(Time)
+	cancelOK  bool
+	cancelled int
+}
+
+func (c *stubClock) Now() Time { return c.now }
+
+func (c *stubClock) Schedule(t Time, fn func(Time)) *Event {
+	c.fns = append(c.fns, fn)
+	return &Event{when: t, fn: fn}
+}
+
+func (c *stubClock) After(d Duration, fn func(Time)) *Event {
+	return c.Schedule(c.now.Add(d), fn)
+}
+
+func (c *stubClock) Cancel(e *Event) bool {
+	c.cancelled++
+	return c.cancelOK
+}
+
+// TestSchedulerCancelDuringFire pins the Cancel/fire handoff: when the
+// last task of a bucket is canceled after the bucket's event fired but
+// before the fire callback ran (clock Cancel reports false), the bucket
+// must stay owned by fire. Recycling it in Cancel let a concurrent At
+// re-arm the same bucket object for a new deadline, which the in-flight
+// fire would then dispatch immediately — and fire's own recycle built a
+// self-looped free list that handed one bucket to two deadlines.
+func TestSchedulerCancelDuringFire(t *testing.T) {
+	sc := &stubClock{}
+	var c collectDispatch
+	s := NewScheduler(sc, c.fn)
+
+	// Arm one task at 10; its event "fires" (fire fn captured but not
+	// yet run) and only then does Cancel retire the task.
+	ta := &Task{Data: "a"}
+	s.At(10, ta)
+	sc.cancelOK = false // the event already fired
+	if !s.Cancel(ta) {
+		t.Fatal("Cancel of armed task reported false")
+	}
+	if got := s.PendingBuckets(); got != 1 {
+		t.Fatalf("PendingBuckets = %d, want 1 (bucket left for in-flight fire)", got)
+	}
+
+	// A new deadline armed while fire is still in flight must get its
+	// own bucket, not the one fire is about to detach.
+	tb := &Task{Data: "b"}
+	s.At(20, tb)
+
+	// The in-flight fire now runs: it detaches the empty 10-bucket and
+	// recycles it exactly once. Nothing dispatches, and b's bucket is
+	// untouched.
+	sc.fns[0](10)
+	if len(c.batches) != 0 {
+		t.Fatalf("batches after empty fire = %v, want none", c.batches)
+	}
+	if got := s.PendingBuckets(); got != 1 {
+		t.Fatalf("PendingBuckets = %d, want 1 (only b's bucket)", got)
+	}
+
+	// Free-list integrity: two further deadlines must land in distinct
+	// buckets and dispatch independently.
+	s.At(30, &Task{Data: "c"})
+	if got := s.PendingBuckets(); got != 2 {
+		t.Fatalf("PendingBuckets = %d, want 2", got)
+	}
+	sc.fns[1](20)
+	if len(c.batches) != 1 || len(c.batches[0]) != 1 || c.batches[0][0] != "b" {
+		t.Fatalf("batches = %v, want [[b]]", c.batches)
+	}
+	sc.fns[2](30)
+	if len(c.batches) != 2 || c.batches[1][0] != "c" {
+		t.Fatalf("batches = %v, want [[b] [c]]", c.batches)
+	}
+	if got := s.PendingBuckets(); got != 0 {
+		t.Fatalf("PendingBuckets = %d, want 0", got)
+	}
+
+	// The pending-cancel path still cancels for real: Cancel reporting
+	// true recycles the bucket immediately.
+	sc.cancelOK = true
+	td := &Task{Data: "d"}
+	s.At(40, td)
+	s.Cancel(td)
+	if got := s.PendingBuckets(); got != 0 {
+		t.Fatalf("PendingBuckets = %d, want 0 after pending cancel", got)
+	}
+}
+
 func TestSchedulerDoubleArmPanics(t *testing.T) {
 	vc := NewVirtual()
 	s := NewScheduler(vc, func(Time, []*Task) {})

@@ -22,17 +22,17 @@ import (
 // Invalidation: every structural mutation of a component — entry
 // inclusion (new trigger edges), entry removal, component merges, and
 // (conservatively) redefinition — bumps the root's structVer and drops
-// its plans. A cached plan additionally records the structVer it was
-// built under and the exact seed-seq set (guarding against hash
-// collisions), so a stale or colliding plan can never be executed.
-// All cache state lives on the component root and is guarded by the
-// root's structural lock, which every propagation path already holds.
+// its plans. Plans are keyed by the exact canonical seed-seq set (not
+// a hash of it), so distinct seed sets can never alias, and each plan
+// additionally records the structVer it was built under, so a stale
+// plan can never be executed. All cache state lives on the component
+// root and is guarded by the root's structural lock, which every
+// propagation path already holds.
 
 // propPlan is one memoized propagation: the topologically ordered
 // affected entries for one seed set at one structural version.
 type propPlan struct {
 	ver   uint64
-	seeds []int64 // sorted deduplicated seed seqs (collision guard)
 	order []*entry
 }
 
@@ -71,7 +71,7 @@ func (env *Env) planFor(seeds []*entry) []*entry {
 	}
 
 	// Canonical cache key: the sorted, deduplicated seed seqs.
-	// Insertion sort on the root-owned scratch keeps the hit path
+	// Insertion sort on root-owned scratch keeps the hit path
 	// allocation-free; seed sets are small.
 	kb := root.keyBuf[:0]
 	for _, s := range seeds {
@@ -92,45 +92,31 @@ func (env *Env) planFor(seeds []*entry) []*entry {
 	kb = kb[:u]
 	root.keyBuf = kb
 
-	// FNV-1a over the seq bytes.
-	h := uint64(14695981039346656037)
+	// Exact key: the seq bytes themselves. A map lookup indexed by
+	// string(key) does not copy the byte slice, so hits stay
+	// allocation-free; only a miss materializes the key string.
+	key := root.keyBytes[:0]
 	for _, q := range kb {
-		for s := 0; s < 64; s += 8 {
-			h ^= uint64(byte(q >> s))
-			h *= 1099511628211
-		}
+		key = append(key,
+			byte(q), byte(q>>8), byte(q>>16), byte(q>>24),
+			byte(q>>32), byte(q>>40), byte(q>>48), byte(q>>56))
 	}
+	root.keyBytes = key
 
-	if p := root.plans[h]; p != nil && p.ver == root.structVer && seqsEqual(p.seeds, kb) {
+	if p := root.plans[string(key)]; p != nil && p.ver == root.structVer {
 		env.stats.PlanCacheHits.Add(1)
 		return p.order
 	}
 	env.stats.PlanCacheMisses.Add(1)
 	order := env.buildPlanLocked(seeds)
 	if root.plans == nil {
-		root.plans = make(map[uint64]*propPlan)
+		root.plans = make(map[string]*propPlan)
 	}
 	if len(root.plans) >= maxPlansPerScope {
 		clear(root.plans)
 	}
-	root.plans[h] = &propPlan{
-		ver:   root.structVer,
-		seeds: append([]int64(nil), kb...),
-		order: order,
-	}
+	root.plans[string(key)] = &propPlan{ver: root.structVer, order: order}
 	return order
-}
-
-func seqsEqual(a, b []int64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i, v := range a {
-		if v != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // buildPlanLocked computes the ordered affected-entry slice for seeds:

@@ -49,9 +49,10 @@ type component struct {
 	// component merges, redefinitions — and stamps cached plans so a
 	// stale plan can never be executed.
 	structVer uint64
-	plans     map[uint64]*propPlan
+	plans     map[string]*propPlan
 	seedBuf   []*entry
 	keyBuf    []int64
+	keyBytes  []byte
 }
 
 // newComponent allocates a fresh singleton component.
