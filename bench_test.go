@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -267,6 +268,108 @@ func BenchmarkE19BatchedTicks(b *testing.B) {
 			}
 			b.ReportMetric(row.SubmitsPerBoundary, "submits/boundary")
 			b.ReportMetric(row.RefreshesPerBoundary, "refreshes/boundary")
+		})
+	}
+}
+
+// BenchmarkHealthyOverhead measures what the degraded-mode machinery
+// costs when nothing is degraded: the E19 batched-tick workload (1000
+// periodic handlers over 4 scopes, one window boundary per op, pool-2
+// updater) with breaker tracking — and then deadline bounding —
+// enabled versus the plain pipeline. The graph is built outside the
+// timer so ns/op is the steady-state publish path, not subscribe-time
+// setup. Acceptance: the breaker variant stays within 2% of baseline —
+// its success path is one lock-free state check before the compute and
+// one atomic state load after it. The deadline variant prices the
+// generation fence itself — one spawned goroutine, result channel, and
+// armed clock event per compute, the cost of being able to abandon a
+// hung computation — which is why deadlines are opt-in (graph default
+// or per-definition) for computes expensive enough to hang, not free
+// insurance on trivial ones. Committed numbers live in BENCH_PR4.json.
+func BenchmarkHealthyOverhead(b *testing.B) {
+	const (
+		handlers = 1000
+		scopes   = 4
+		window   = 10
+	)
+	for _, tc := range []struct {
+		name string
+		opts []core.EnvOption
+	}{
+		{"baseline", nil},
+		{"breaker", []core.EnvOption{
+			core.WithBreaker(core.DefaultBreakerPolicy),
+		}},
+		{"breakerAndDeadline", []core.EnvOption{
+			core.WithBreaker(core.DefaultBreakerPolicy),
+			core.WithComputeDeadline(1 << 20),
+		}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			vc := clock.NewVirtual()
+			opts := append([]core.EnvOption{core.WithUpdater(core.NewPoolUpdater(2))}, tc.opts...)
+			env := core.NewEnv(vc, opts...)
+			subs := make([]*core.Subscription, 0, scopes)
+			for s := 0; s < scopes; s++ {
+				r := env.NewRegistry(fmt.Sprintf("op%d", s))
+				deps := make([]core.DepRef, 0, handlers/scopes)
+				for i := 0; i < handlers/scopes; i++ {
+					kind := core.Kind(fmt.Sprintf("p%d", i))
+					r.MustDefine(&core.Definition{
+						Kind: kind,
+						Build: func(*core.BuildContext) (core.Handler, error) {
+							return core.NewPeriodic(window, func(start, end clock.Time) (core.Value, error) {
+								return float64(end), nil
+							}), nil
+						},
+					})
+					deps = append(deps, core.Dep(core.Self(), kind))
+				}
+				r.MustDefine(&core.Definition{
+					Kind: "agg",
+					Deps: deps,
+					Build: func(ctx *core.BuildContext) (core.Handler, error) {
+						hs := make([]*core.Handle, len(deps))
+						for i := range deps {
+							hs[i] = ctx.Dep(i)
+						}
+						return core.NewTriggered(func(clock.Time) (core.Value, error) {
+							var sum float64
+							for _, h := range hs {
+								v, err := h.Float()
+								if err != nil {
+									return nil, err
+								}
+								sum += v
+							}
+							return sum, nil
+						}), nil
+					},
+				})
+				sub, err := r.Subscribe("agg")
+				if err != nil {
+					b.Fatal(err)
+				}
+				subs = append(subs, sub)
+			}
+			// Warm-up boundary: propagation plans built, pool spun up.
+			vc.Advance(window)
+			env.Quiesce()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vc.Advance(window)
+				env.Quiesce()
+			}
+			b.StopTimer()
+			want := float64(handlers/scopes) * float64(env.Now())
+			for _, sub := range subs {
+				if got, err := sub.Float(); err != nil || got != want {
+					b.Fatalf("agg = %v, %v; want %v", got, err, want)
+				}
+				sub.Unsubscribe()
+			}
+			env.Updater().Stop()
 		})
 	}
 }

@@ -87,6 +87,9 @@ func main() {
 	fmt.Printf("\nframework activity: %+v\n", st)
 	fmt.Printf("update pipeline: scopeBatches=%d batchedTicks=%d meanBatch=%.1f planHitRate=%.3f\n",
 		st.ScopeBatches, st.BatchedTicks, st.MeanBatchSize(), st.PlanHitRate())
+	fmt.Printf("degraded ops: timeouts=%d lateResults=%d trips=%d recoveries=%d shedTicks=%d queueHighWater=%d\n",
+		st.Timeouts, st.LateResults, st.BreakerTrips, st.BreakerRecoveries,
+		st.ShedTicks, st.QueueHighWater)
 }
 
 func must(err error) {

@@ -9,7 +9,7 @@ import (
 
 func TestSmoke(t *testing.T) {
 	out := smoketest.Run(t, []string{"mdtop", "-until", "200"}, main)
-	for _, want := range []string{"metadata inventory", "recorded series", "framework activity"} {
+	for _, want := range []string{"metadata inventory", "recorded series", "framework activity", "degraded ops"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := smoketest.Run(t, []string{"degraded"}, main)
+	for _, want := range []string{
+		"healthy: selectivity estimate",
+		"deadline exceeded",
+		"quarantined: serving stale estimate 0.200",
+		"still quarantined, stale for 80",
+		"late results fenced, estimate still 0.200",
+		"recovered: breaker closed",
+		"degraded ops: timeouts=2 lateResults=2 trips=1 recoveries=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Virtual is a deterministic simulated clock. Time only moves when the
@@ -15,8 +16,11 @@ import (
 // during Advance, so callbacks must not call Advance themselves (they
 // may Schedule freely, including for the current instant).
 type Virtual struct {
-	mu        sync.Mutex
-	now       Time
+	mu sync.Mutex
+	// now is written only under mu but read lock-free by Now(): the
+	// update pipeline consults the clock position on every pooled
+	// publish (lag clamping), so Now must not contend with Advance.
+	now       atomic.Int64
 	seq       uint64
 	queue     eventQueue
 	advancing bool
@@ -26,11 +30,7 @@ type Virtual struct {
 func NewVirtual() *Virtual { return &Virtual{} }
 
 // Now returns the current simulated time.
-func (v *Virtual) Now() Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
-}
+func (v *Virtual) Now() Time { return Time(v.now.Load()) }
 
 // Schedule implements Clock. Events scheduled for the past fire at the
 // next advancement.
@@ -47,7 +47,7 @@ func (v *Virtual) Schedule(t Time, fn func(Time)) *Event {
 func (v *Virtual) After(d Duration, fn func(Time)) *Event {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	e := &Event{when: v.now.Add(d), seq: v.seq, fn: fn}
+	e := &Event{when: v.Now().Add(d), seq: v.seq, fn: fn}
 	v.seq++
 	heap.Push(&v.queue, e)
 	return e
@@ -63,7 +63,7 @@ func (v *Virtual) reuseAfter(e *Event, d Duration, fn func(Time)) *Event {
 	if e == nil || e.index >= 0 || e.canceled {
 		e = &Event{}
 	}
-	e.when = v.now.Add(d)
+	e.when = v.Now().Add(d)
 	e.seq = v.seq
 	e.fn = fn
 	v.seq++
@@ -110,16 +110,17 @@ func (v *Virtual) AdvanceTo(t Time) {
 		if e.canceled {
 			continue
 		}
-		if e.when > v.now {
-			v.now = e.when
+		now := Time(v.now.Load())
+		if e.when > now {
+			now = e.when
+			v.now.Store(int64(now))
 		}
-		now := v.now
 		v.mu.Unlock()
 		e.fn(now)
 		v.mu.Lock()
 	}
-	if t > v.now {
-		v.now = t
+	if t > Time(v.now.Load()) {
+		v.now.Store(int64(t))
 	}
 	v.advancing = false
 	v.mu.Unlock()

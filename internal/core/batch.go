@@ -51,8 +51,16 @@ func (env *Env) dispatchTicks(now clock.Time, due []*clock.Task) {
 	// ticker's clock-goroutine reschedule.
 	sched := env.scheduler()
 	for _, t := range due {
-		h := t.Data.(*periodicHandler)
-		sched.At(now.Add(h.window), t)
+		switch d := t.Data.(type) {
+		case *periodicHandler:
+			sched.At(now.Add(d.window), t)
+		case *itemHealth:
+			// Recovery probe of a quarantined handler: not re-armed
+			// here — the probe's outcome decides whether the breaker
+			// closes (the owner reschedules itself) or the probe is
+			// re-armed on doubled backoff.
+			d.probeFired(now)
+		}
 	}
 
 	_, inline := env.updater.(inlineUpdater)
@@ -61,7 +69,10 @@ func (env *Env) dispatchTicks(now clock.Time, due []*clock.Task) {
 		// Ablation/baseline: one dispatch and one propagation per
 		// handler, legacy semantics.
 		for _, t := range due {
-			h := t.Data.(*periodicHandler)
+			h, ok := t.Data.(*periodicHandler)
+			if !ok {
+				continue
+			}
 			if inline {
 				h.tick(now)
 			} else {
@@ -80,7 +91,10 @@ func (env *Env) dispatchTicks(now clock.Time, due []*clock.Task) {
 	// batches for this boundary.
 	n := 0
 	for _, t := range due {
-		h := t.Data.(*periodicHandler)
+		h, ok := t.Data.(*periodicHandler)
+		if !ok {
+			continue // recovery probe, handled above
+		}
 		e := h.entry()
 		if e == nil {
 			continue // stopped between fire and dispatch
@@ -105,8 +119,10 @@ func (env *Env) dispatchTicks(now clock.Time, due []*clock.Task) {
 		}
 		env.tickGroups[idx].hs = append(env.tickGroups[idx].hs, h)
 	}
+	shed, _ := env.updater.(sheddableUpdater)
 	for i := 0; i < n; i++ {
 		g := &env.tickGroups[i]
+		root := g.root
 		g.root = nil // do not pin merged-away roots between boundaries
 		if inline {
 			// Inline updater: run the batch directly instead of paying
@@ -116,7 +132,19 @@ func (env *Env) dispatchTicks(now clock.Time, due []*clock.Task) {
 		} else {
 			hs := make([]*periodicHandler, len(g.hs))
 			copy(hs, g.hs)
-			env.updater.Submit(func() { env.runTickBatch(hs, now) })
+			if shed != nil {
+				// Scope batches are the sheddable class: under
+				// backpressure a batch still queued when this scope's
+				// next boundary arrives is superseded by it — the newer
+				// batch recomputes the same cumulative windows at the
+				// later instant, so coalescing costs latency, not data.
+				// (The root pointer is only a coalescing key; a bounded
+				// updater drops the reference when the batch runs or is
+				// superseded.)
+				shed.SubmitSheddable(root, func() { env.runTickBatch(hs, now) })
+			} else {
+				env.updater.Submit(func() { env.runTickBatch(hs, now) })
+			}
 		}
 	}
 }

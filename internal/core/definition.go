@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/clock"
@@ -39,6 +40,12 @@ type Definition struct {
 	// Build constructs the handler. The BuildContext carries handles
 	// to the resolved dependencies in Deps order.
 	Build func(ctx *BuildContext) (Handler, error)
+
+	// ComputeDeadline bounds this item's computations, overriding the
+	// graph-wide WithComputeDeadline default. 0 inherits the default;
+	// it requires an asynchronous updater to take effect (see
+	// WithComputeDeadline).
+	ComputeDeadline clock.Duration
 }
 
 // ResolveContext lets a dynamic Resolve hook inspect the inclusion
@@ -121,10 +128,18 @@ func (h *Handle) Value() (Value, error) {
 	return hd.Value()
 }
 
-// Float returns the item's current value as float64.
+// Float returns the item's current value as float64. A stale-tagged
+// read (errors.Is(err, ErrStale)) still carries the last-good value so
+// degrade-aware consumers can keep operating on it; every other error
+// zeroes the value.
 func (h *Handle) Float() (float64, error) {
 	v, err := h.Value()
 	if err != nil {
+		if errors.Is(err, ErrStale) {
+			if f, ferr := Float(v); ferr == nil {
+				return f, err
+			}
+		}
 		return 0, err
 	}
 	return Float(v)

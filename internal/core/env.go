@@ -46,6 +46,21 @@ type Env struct {
 	// boundary) instead of scope-batched ticks. Ablation only.
 	perHandlerTicks bool
 
+	// async reports that the updater runs tasks off the submitting
+	// goroutine (pool updater). Compute deadlines require it: with the
+	// inline updater the compute runs on the clock-advancing goroutine,
+	// so a deadline wait could never fire (the clock cannot advance
+	// while its own callback blocks).
+	async bool
+
+	// deadline is the graph-wide per-compute deadline (0 = none); a
+	// definition's ComputeDeadline overrides it per item.
+	deadline clock.Duration
+
+	// breaker, when non-nil, enables circuit-breaker quarantine for
+	// handlers that repeatedly panic or time out.
+	breaker *BreakerPolicy
+
 	// sched is the lazily created bucketed deadline scheduler shared
 	// by every periodic handler of the graph: all handlers due at one
 	// instant cost a single clock event and arrive as one batch (see
@@ -87,11 +102,46 @@ func WithPerHandlerTicks() EnvOption {
 	return func(e *Env) { e.perHandlerTicks = true }
 }
 
+// WithComputeDeadline bounds every metadata computation of the graph
+// to d abstract time units: a compute still running at its deadline is
+// abandoned (its eventual result fenced off by a generation counter)
+// and the item publishes ErrComputeTimeout. A definition's
+// ComputeDeadline overrides d per item; 0 keeps computations unbounded.
+//
+// Deadlines require an asynchronous updater (NewPoolUpdater): with the
+// inline updater computations run on the clock-advancing goroutine,
+// where a deadline could never fire. On inline envs the option is
+// accepted but inert.
+func WithComputeDeadline(d clock.Duration) EnvOption {
+	return func(e *Env) { e.deadline = d }
+}
+
+// WithBreaker enables circuit-breaker quarantine: a handler whose
+// computes fail (panic or deadline timeout) p.FailureThreshold times
+// within p.FailureWindow trips to quarantine — it is unscheduled,
+// serves its last-good value tagged with *StaleError, and is re-probed
+// on exponential backoff until a success closes the breaker. Passing
+// the zero BreakerPolicy selects DefaultBreakerPolicy.
+func WithBreaker(p BreakerPolicy) EnvOption {
+	return func(e *Env) {
+		if p.FailureThreshold <= 0 {
+			p = DefaultBreakerPolicy
+		}
+		e.breaker = &p
+	}
+}
+
 // NewEnv returns an Env on the given clock.
 func NewEnv(clk clock.Clock, opts ...EnvOption) *Env {
 	e := &Env{clk: clk, updater: NewInlineUpdater()}
 	for _, o := range opts {
 		o(e)
+	}
+	if _, inline := e.updater.(inlineUpdater); !inline {
+		e.async = true
+	}
+	if b, ok := e.updater.(statsBinder); ok {
+		b.bindStats(&e.stats)
 	}
 	return e
 }
@@ -119,6 +169,20 @@ func (e *Env) Quiesce() { e.updater.WaitIdle() }
 
 // nextSeq returns the next entry creation sequence number.
 func (e *Env) nextSeq() int64 { return e.seq.Add(1) }
+
+// deadlineFor returns the compute deadline for def: the definition's
+// override when set, else the graph-wide default. Always 0 (unbounded)
+// on inline-updater envs, where a deadline wait would deadlock the
+// clock.
+func (e *Env) deadlineFor(def *Definition) clock.Duration {
+	if !e.async {
+		return 0
+	}
+	if def != nil && def.ComputeDeadline > 0 {
+		return def.ComputeDeadline
+	}
+	return e.deadline
+}
 
 // scheduler returns the env's bucketed tick scheduler, creating it on
 // first use so envs without periodic metadata never pay for one.

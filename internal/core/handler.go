@@ -134,6 +134,18 @@ type onDemandHandler struct {
 	compute ComputeFunc
 	mu      sync.Mutex
 	e       *entry
+
+	// deadline bounds each compute (0 = unbounded), resolved from the
+	// definition/env at start. A deadline wait needs the clock to keep
+	// advancing, so deadline-bounded on-demand reads must not be issued
+	// from the clock-advancing goroutine itself.
+	deadline clock.Duration
+	// health is the item's circuit breaker, nil unless the env enables
+	// WithBreaker.
+	health *itemHealth
+	// lastGood is the latest successfully computed value, served
+	// tagged *StaleError while quarantined.
+	lastGood Value
 }
 
 // NewOnDemand returns a handler that evaluates compute on each access.
@@ -149,11 +161,76 @@ func (h *onDemandHandler) Value() (Value, error) {
 	if h.e == nil {
 		return nil, ErrUnsubscribed
 	}
-	stats := h.e.reg.env.Stats()
+	if h.health.isQuarantined() {
+		// Serve the last-good value without recomputing; recovery goes
+		// through the armed probe. Value() may run during trigger
+		// propagation with the scope lock held, so nothing here may
+		// take structural locks.
+		return h.lastGood, h.health.staleError()
+	}
+	env := h.e.reg.env
+	stats := env.Stats()
 	stats.ComputeCalls.Add(1)
 	stats.OnDemandComputes.Add(1)
-	return safeCompute(h.compute, h.e.reg.env.Now())
+	now := env.Now()
+	var v Value
+	var err error
+	if h.deadline > 0 {
+		v, err = boundedCompute(env.clk, h.deadline, stats, h.compute, now)
+	} else {
+		v, err = safeCompute(h.compute, now)
+	}
+	if err == nil || !breakerEligible(err) {
+		h.health.onSuccess()
+		if err == nil && h.health != nil {
+			// lastGood is only ever served while quarantined, so the
+			// breaker-less hot path skips the store (and, for pointer
+			// values, its write barrier).
+			h.lastGood = v
+		}
+		return v, err
+	}
+	if h.health.onFailure(now, err) {
+		return h.lastGood, h.health.staleError()
+	}
+	return v, err
 }
+
+// runProbe implements quarantineOwner: one recompute on the updater; a
+// success closes the breaker (dependents recompute lazily on their
+// next access) and notifies triggered dependents that the item is live
+// again.
+func (h *onDemandHandler) runProbe(now clock.Time) {
+	h.mu.Lock()
+	if h.e == nil {
+		h.mu.Unlock()
+		return
+	}
+	env := h.e.reg.env
+	stats := env.Stats()
+	stats.ComputeCalls.Add(1)
+	stats.OnDemandComputes.Add(1)
+	v, err := boundedCompute(env.clk, h.deadline, stats, h.compute, now)
+	if err != nil && breakerEligible(err) {
+		h.mu.Unlock()
+		h.health.probeFailed(now, err)
+		return
+	}
+	if err == nil {
+		h.lastGood = v
+	}
+	h.health.closeBreaker()
+	e := h.e
+	h.mu.Unlock()
+	if e.ndeps.Load() > 0 {
+		sc := env.lockScope(e.reg)
+		e.reg.propagateLocked(e, now)
+		sc.unlock()
+	}
+}
+
+// healthSnapshot implements healthCarrier.
+func (h *onDemandHandler) healthSnapshot() HealthSnapshot { return h.health.snapshot() }
 
 func (h *onDemandHandler) Mechanism() Mechanism { return OnDemandMechanism }
 
@@ -161,11 +238,14 @@ func (h *onDemandHandler) start(e *entry) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.e = e
+	h.deadline = e.reg.env.deadlineFor(e.def)
+	h.health = newItemHealth(e.reg.env, h)
 	return nil
 }
 
 func (h *onDemandHandler) stop() {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.e = nil
+	h.mu.Unlock()
+	h.health.stop()
 }

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Degraded-mode tests: compute deadlines, circuit-breaker quarantine,
+// and updater backpressure. All of them run on the virtual clock with a
+// pool updater and are deterministic: the hung compute signals entry
+// through a channel, and the deadline event is armed before the compute
+// goroutine spawns, so a test that advances past the deadline always
+// observes the timeout.
+
+// waitStat polls an atomic counter until it reaches want. Used only for
+// late-straggler accounting, where the counting goroutine is by design
+// not synchronized with publication.
+func waitStat(t *testing.T, c *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter = %d, want %d", c.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQuarantineBreakerLifecycle drives the full breaker state machine
+// deterministically: a healthy periodic handler hangs, times out twice,
+// trips into quarantine (unscheduled, serving its stale-tagged
+// last-good value), is re-probed on backoff through the bucketed
+// scheduler, and recovers — with a triggered dependent observing the
+// quarantine and the recovery through propagation, and the abandoned
+// computes fenced off as late results.
+func TestQuarantineBreakerLifecycle(t *testing.T) {
+	vc := clock.NewVirtual()
+	u := NewPoolUpdater(2)
+	defer u.Stop()
+	env := NewEnv(vc,
+		WithUpdater(u),
+		WithComputeDeadline(5),
+		WithBreaker(BreakerPolicy{
+			FailureThreshold: 2,
+			FailureWindow:    100,
+			ProbeBackoff:     7,
+			MaxProbeBackoff:  28,
+		}))
+	r := env.NewRegistry("op")
+
+	var hanging atomic.Bool
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	r.MustDefine(&Definition{
+		Kind: "rate",
+		Build: func(*BuildContext) (Handler, error) {
+			return NewPeriodic(10, func(start, end clock.Time) (Value, error) {
+				if hanging.Load() {
+					entered <- struct{}{}
+					<-release
+				}
+				return float64(end - start), nil
+			}), nil
+		},
+	})
+	r.MustDefine(&Definition{
+		Kind: "cost",
+		Deps: []DepRef{Dep(Self(), "rate")},
+		Build: func(ctx *BuildContext) (Handler, error) {
+			dep := ctx.Dep(0)
+			return NewTriggered(func(clock.Time) (Value, error) {
+				v, err := dep.Value()
+				if err != nil {
+					return v, err
+				}
+				return v.(float64) * 2, nil
+			}), nil
+		},
+	})
+
+	sub, err := r.Subscribe("cost")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Unsubscribe()
+
+	if hs, ok := r.Health("rate"); !ok || hs.State != Healthy {
+		t.Fatalf("initial health = %+v ok=%v, want healthy", hs, ok)
+	}
+
+	// Failure 1: the boundary-10 compute hangs and times out at 15.
+	hanging.Store(true)
+	vc.Advance(10)
+	<-entered // deadline event armed before the compute entered
+	vc.Advance(5)
+	env.Quiesce()
+	if _, err := r.Peek("rate"); !errors.Is(err, ErrComputeTimeout) {
+		t.Fatalf("after first timeout Peek error = %v, want ErrComputeTimeout", err)
+	} else if errors.Is(err, ErrStale) {
+		t.Fatalf("first timeout already stale-tagged: %v", err)
+	}
+	if hs, _ := r.Health("rate"); hs.State != Degraded || hs.RecentFailures != 1 {
+		t.Fatalf("after first timeout health = %+v, want degraded with 1 failure", hs)
+	}
+
+	// Failure 2 at boundary 20 trips the breaker.
+	vc.Advance(5)
+	<-entered
+	vc.Advance(5)
+	env.Quiesce()
+	v, err := r.Peek("rate")
+	if !errors.Is(err, ErrStale) || !errors.Is(err, ErrComputeTimeout) {
+		t.Fatalf("quarantined Peek error = %v, want ErrStale wrapping ErrComputeTimeout", err)
+	}
+	if v != 0.0 {
+		// Last good value: the initial zero-width window publication.
+		t.Fatalf("quarantined Peek value = %v, want last-good 0", v)
+	}
+	var stale *StaleError
+	if !errors.As(err, &stale) {
+		t.Fatalf("quarantined error %v is not a *StaleError", err)
+	}
+	if stale.Since != 20 {
+		t.Fatalf("StaleError.Since = %d, want trip instant 20", stale.Since)
+	}
+	ageAtTrip := stale.Age()
+	if hs, _ := r.Health("rate"); hs.State != Quarantined {
+		t.Fatalf("health after trip = %+v, want quarantined", hs)
+	}
+	// The dependent observed the quarantine through propagation.
+	if _, err := sub.Value(); !errors.Is(err, ErrStale) {
+		t.Fatalf("dependent error after trip = %v, want ErrStale propagated", err)
+	}
+
+	// The stale age is live: it grows as the clock advances.
+	vc.Advance(1) // t = 26
+	if a := stale.Age(); a != ageAtTrip+1 {
+		t.Fatalf("stale age after advance = %d, want %d", a, ageAtTrip+1)
+	}
+
+	// Probe 1: armed at trip+backoff = 27 through the bucketed
+	// scheduler. Still hanging, so it enters the compute and times out
+	// at its own deadline (27+5 = 32), re-arming on doubled backoff.
+	vc.Advance(1) // t = 27: probe fires, probe compute dispatched
+	<-entered     // probe deadline armed before the compute entered
+	vc.Advance(5) // t = 32: probe deadline fires
+	env.Quiesce()
+	if hs, _ := r.Health("rate"); hs.State != Quarantined {
+		t.Fatalf("health after failed probe = %+v, want quarantined again", hs)
+	}
+	if got := env.Stats().BreakerRecoveries.Load(); got != 0 {
+		t.Fatalf("BreakerRecoveries = %d before any successful probe", got)
+	}
+
+	// Quarantine unscheduled the boundary cadence: between the failed
+	// probe and the next one (27+14 = 41), the t=40 boundary that the
+	// healthy schedule would have hit runs nothing.
+	before := env.Stats().ComputeCalls.Load()
+	vc.Advance(8) // t = 40
+	env.Quiesce()
+	if got := env.Stats().ComputeCalls.Load(); got != before {
+		t.Fatalf("quarantined handler still computing: %d calls during quarantine", got-before)
+	}
+
+	// Heal the compute; probe 2 at t = 41 succeeds.
+	hanging.Store(false)
+	vc.Advance(1) // t = 41
+	env.Quiesce()
+	if hs, _ := r.Health("rate"); hs.State != Healthy {
+		t.Fatalf("health after successful probe = %+v, want healthy", hs)
+	}
+	v, err = r.Peek("rate")
+	if err != nil {
+		t.Fatalf("recovered Peek = %v, %v", v, err)
+	}
+	recovered := v.(float64)
+	if recovered <= 0 {
+		t.Fatalf("recovered value = %v, want positive cumulative window", v)
+	}
+	// Recovery propagated to the dependent.
+	if dv, err := sub.Value(); err != nil || dv.(float64) != recovered*2 {
+		t.Fatalf("dependent after recovery = %v, %v; want %v", dv, err, recovered*2)
+	}
+
+	// The boundary cadence resumed on a fresh task.
+	beforeUpdates := env.Stats().PeriodicUpdates.Load()
+	vc.Advance(20)
+	env.Quiesce()
+	if got := env.Stats().PeriodicUpdates.Load(); got <= beforeUpdates {
+		t.Fatalf("no periodic updates after recovery (%d -> %d)", beforeUpdates, got)
+	}
+
+	// Release the abandoned computes: their late results are fenced off
+	// and counted, never published.
+	cur, _ := r.Peek("rate")
+	release <- struct{}{}
+	release <- struct{}{}
+	release <- struct{}{}
+	waitStat(t, &env.Stats().LateResults, 3)
+	if after, _ := r.Peek("rate"); after != cur {
+		t.Fatalf("late result clobbered publication: %v -> %v", cur, after)
+	}
+
+	st := env.Stats()
+	if st.Timeouts.Load() != 3 {
+		t.Errorf("Timeouts = %d, want 3 (two ticks + one probe)", st.Timeouts.Load())
+	}
+	if st.BreakerTrips.Load() != 1 {
+		t.Errorf("BreakerTrips = %d, want 1", st.BreakerTrips.Load())
+	}
+	if st.BreakerRecoveries.Load() != 1 {
+		t.Errorf("BreakerRecoveries = %d, want 1", st.BreakerRecoveries.Load())
+	}
+}
+
+// TestDeadlineGenerationFence: a timed-out compute that eventually
+// finishes must never overwrite the newer publication that happened
+// while it was hung.
+func TestDeadlineGenerationFence(t *testing.T) {
+	vc := clock.NewVirtual()
+	u := NewPoolUpdater(2)
+	defer u.Stop()
+	env := NewEnv(vc, WithUpdater(u), WithComputeDeadline(5))
+	r := env.NewRegistry("op")
+
+	var hangFirst atomic.Bool
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	r.MustDefine(&Definition{
+		Kind: "sel",
+		Build: func(*BuildContext) (Handler, error) {
+			return NewPeriodic(10, func(start, end clock.Time) (Value, error) {
+				if hangFirst.CompareAndSwap(true, false) {
+					entered <- struct{}{}
+					<-release
+					return -1.0, nil // stale result from the stuck window
+				}
+				return float64(end), nil
+			}), nil
+		},
+	})
+	sub, err := r.Subscribe("sel")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Unsubscribe()
+
+	hangFirst.Store(true)
+	vc.Advance(10)
+	<-entered
+	vc.Advance(5) // deadline at 15: timeout published
+	env.Quiesce()
+	if _, err := sub.Value(); !errors.Is(err, ErrComputeTimeout) {
+		t.Fatalf("value after deadline = %v, want ErrComputeTimeout", err)
+	}
+	if got := env.Stats().Timeouts.Load(); got != 1 {
+		t.Fatalf("Timeouts = %d, want 1", got)
+	}
+
+	// The next boundary publishes a fresh healthy value.
+	vc.Advance(5)
+	env.Quiesce()
+	v, err := sub.Value()
+	if err != nil || v.(float64) != 20 {
+		t.Fatalf("post-recovery value = %v, %v; want 20", v, err)
+	}
+
+	// Now the hung compute returns; the generation fence must discard
+	// its result (-1) instead of clobbering the newer publication.
+	close(release)
+	waitStat(t, &env.Stats().LateResults, 1)
+	if v, err := sub.Value(); err != nil || v.(float64) != 20 {
+		t.Fatalf("late result clobbered newer publication: %v, %v", v, err)
+	}
+}
+
+// TestDeadlineInlineEnvInert: deadlines require an asynchronous
+// updater; on an inline env the option is accepted but computations run
+// unbounded (a deadline wait on the clock goroutine could never fire).
+func TestDeadlineInlineEnvInert(t *testing.T) {
+	env := NewEnv(clock.NewVirtual(), WithComputeDeadline(5))
+	r := env.NewRegistry("op")
+	r.MustDefine(&Definition{
+		Kind: "x",
+		Build: func(*BuildContext) (Handler, error) {
+			return NewOnDemand(func(now clock.Time) (Value, error) { return 1.0, nil }), nil
+		},
+	})
+	sub, err := r.Subscribe("x")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Unsubscribe()
+	if v, err := sub.Value(); err != nil || v.(float64) != 1.0 {
+		t.Fatalf("Value = %v, %v", v, err)
+	}
+	if got := env.deadlineFor(nil); got != 0 {
+		t.Fatalf("inline env deadlineFor = %d, want 0", got)
+	}
+}
+
+// TestQuarantineOnDemandPanics: the breaker also contains repeatedly
+// panicking on-demand items, without deadlines and on an inline env —
+// Value() serves the last good result tagged stale and a probe closes
+// the breaker.
+func TestQuarantineOnDemandPanics(t *testing.T) {
+	vc := clock.NewVirtual()
+	env := NewEnv(vc, WithBreaker(BreakerPolicy{
+		FailureThreshold: 3,
+		FailureWindow:    100,
+		ProbeBackoff:     10,
+		MaxProbeBackoff:  40,
+	}))
+	r := env.NewRegistry("op")
+	var broken atomic.Bool
+	r.MustDefine(&Definition{
+		Kind: "mem",
+		Build: func(*BuildContext) (Handler, error) {
+			return NewOnDemand(func(now clock.Time) (Value, error) {
+				if broken.Load() {
+					panic("estimator corrupted")
+				}
+				return 42.0, nil
+			}), nil
+		},
+	})
+	sub, err := r.Subscribe("mem")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Unsubscribe()
+
+	if v, err := sub.Value(); err != nil || v.(float64) != 42.0 {
+		t.Fatalf("healthy Value = %v, %v", v, err)
+	}
+
+	broken.Store(true)
+	for i := 0; i < 3; i++ {
+		if _, err := sub.Value(); !errors.Is(err, ErrComputePanic) && !errors.Is(err, ErrStale) {
+			t.Fatalf("failure %d: err = %v", i, err)
+		}
+	}
+	if hs, _ := r.Health("mem"); hs.State != Quarantined {
+		t.Fatalf("health = %+v, want quarantined after 3 panics", hs)
+	}
+	// Quarantined reads serve the last good value, stale-tagged, and do
+	// not invoke the panicking compute.
+	before := env.Stats().ComputeCalls.Load()
+	v, err := sub.Value()
+	if !errors.Is(err, ErrStale) || !errors.Is(err, ErrComputePanic) {
+		t.Fatalf("quarantined err = %v, want ErrStale wrapping ErrComputePanic", err)
+	}
+	if v.(float64) != 42.0 {
+		t.Fatalf("quarantined value = %v, want last-good 42", v)
+	}
+	if got := env.Stats().ComputeCalls.Load(); got != before {
+		t.Fatalf("quarantined on-demand read still computed (%d calls)", got-before)
+	}
+
+	// Heal and let the probe close the breaker.
+	broken.Store(false)
+	vc.Advance(10)
+	if hs, _ := r.Health("mem"); hs.State != Healthy {
+		t.Fatalf("health after probe = %+v, want healthy", hs)
+	}
+	if v, err := sub.Value(); err != nil || v.(float64) != 42.0 {
+		t.Fatalf("recovered Value = %v, %v", v, err)
+	}
+	if got := env.Stats().BreakerRecoveries.Load(); got != 1 {
+		t.Fatalf("BreakerRecoveries = %d, want 1", got)
+	}
+}
+
+// TestBackpressureShedsSupersededBatches: with a bounded queue, a
+// periodic scope batch still queued when the same scope's next boundary
+// arrives is superseded by it — dropped and counted, never run twice —
+// while must-run submissions are never dropped even over capacity.
+func TestBackpressureShedsSupersededBatches(t *testing.T) {
+	vc := clock.NewVirtual()
+	u := NewPoolUpdater(1, WithQueueCapacity(4))
+	defer u.Stop()
+	env := NewEnv(vc, WithUpdater(u))
+	r := env.NewRegistry("op")
+	var computes atomic.Int64
+	r.MustDefine(&Definition{
+		Kind: "rate",
+		Build: func(*BuildContext) (Handler, error) {
+			return NewPeriodic(10, func(start, end clock.Time) (Value, error) {
+				computes.Add(1)
+				return float64(end - start), nil
+			}), nil
+		},
+	})
+	sub, err := r.Subscribe("rate")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Unsubscribe()
+
+	// Wedge the single worker so boundary batches pile up in the queue.
+	started := make(chan struct{})
+	blocker := make(chan struct{})
+	u.Submit(func() { close(started); <-blocker })
+	<-started
+
+	// Three boundaries while the worker is stuck: the first batch
+	// queues, the next two supersede it in place.
+	vc.Advance(10)
+	vc.Advance(10)
+	vc.Advance(10)
+	if got := env.Stats().ShedTicks.Load(); got != 2 {
+		t.Fatalf("ShedTicks = %d, want 2 superseded batches", got)
+	}
+
+	close(blocker)
+	env.Quiesce()
+	// Exactly one batch ran (the latest boundary), computing the full
+	// cumulative window [0, 30]: shedding cost latency, not data.
+	if got := computes.Load(); got != 2 { // initial zero-width + one batch
+		t.Fatalf("computes = %d, want 2 (initial + one coalesced batch)", got)
+	}
+	if v, err := sub.Value(); err != nil || v.(float64) != 30 {
+		t.Fatalf("value = %v, %v; want full window 30", v, err)
+	}
+	if hw := env.Stats().QueueHighWater.Load(); hw < 1 {
+		t.Fatalf("QueueHighWater = %d, want >= 1", hw)
+	}
+}
+
+// TestBackpressureMustRunNeverDropped: must-run submissions (the class
+// carrying triggered propagations) always enqueue, even when the queue
+// is far over its sheddable capacity.
+func TestBackpressureMustRunNeverDropped(t *testing.T) {
+	u := NewPoolUpdater(1, WithQueueCapacity(2)).(*poolUpdater)
+	defer u.Stop()
+
+	started := make(chan struct{})
+	blocker := make(chan struct{})
+	u.Submit(func() { close(started); <-blocker })
+	<-started
+
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		u.Submit(func() { ran.Add(1) })
+	}
+	// With the queue already over capacity, sheddable submissions with
+	// distinct keys (no coalescing target) are shed outright.
+	var shedRan atomic.Int64
+	for i := 0; i < 5; i++ {
+		u.SubmitSheddable(i, func() { shedRan.Add(1) })
+	}
+	close(blocker)
+	u.WaitIdle()
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("must-run tasks executed = %d, want all 10", got)
+	}
+	if got := shedRan.Load(); got != 0 {
+		t.Fatalf("sheddable tasks ran over capacity = %d, want all shed", got)
+	}
+}
+
+// TestBackpressureCoalesceKeepsNewest: superseding replaces the queued
+// function, so the batch that runs is the newest one for the key.
+func TestBackpressureCoalesceKeepsNewest(t *testing.T) {
+	u := NewPoolUpdater(1, WithQueueCapacity(4)).(*poolUpdater)
+	defer u.Stop()
+
+	started := make(chan struct{})
+	blocker := make(chan struct{})
+	u.Submit(func() { close(started); <-blocker })
+	<-started
+
+	var got atomic.Int64
+	key := "scope"
+	u.SubmitSheddable(key, func() { got.Store(1) })
+	u.SubmitSheddable(key, func() { got.Store(2) })
+	u.SubmitSheddable(key, func() { got.Store(3) })
+	close(blocker)
+	u.WaitIdle()
+	if got.Load() != 3 {
+		t.Fatalf("coalesced run = %d, want newest (3)", got.Load())
+	}
+}
+
+// TestPoolUpdaterSheddableAfterStopIsNoop: like Submit, SubmitSheddable
+// after Stop must neither run nor enqueue into the dead queue.
+func TestPoolUpdaterSheddableAfterStopIsNoop(t *testing.T) {
+	u := NewPoolUpdater(1, WithQueueCapacity(2)).(*poolUpdater)
+	u.Stop()
+	ran := false
+	u.SubmitSheddable("k", func() { ran = true })
+	u.WaitIdle()
+	if ran {
+		t.Fatal("sheddable task ran after Stop")
+	}
+	if u.queue.Len() != 0 {
+		t.Fatalf("task enqueued into stopped updater (len %d)", u.queue.Len())
+	}
+}

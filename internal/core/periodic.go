@@ -48,6 +48,16 @@ type periodicHandler struct {
 	// (pool updater): only then can a tick lag behind the clock and
 	// need its window end clamped to the clock's current position.
 	async bool
+
+	// deadline bounds each window compute (0 = unbounded), resolved
+	// from the definition/env at start.
+	deadline clock.Duration
+	// health is the item's circuit breaker, nil unless the env enables
+	// WithBreaker.
+	health *itemHealth
+	// lastGood is the latest successfully published snapshot; it is
+	// what a quarantined handler serves, tagged *StaleError.
+	lastGood *valueSnapshot
 }
 
 // NewPeriodic returns a handler that recomputes its value every window
@@ -80,11 +90,19 @@ func (h *periodicHandler) start(e *entry) error {
 	h.env = env
 	h.e = e
 	h.winStart = now
-	_, inline := env.Updater().(inlineUpdater)
-	h.async = !inline
+	h.async = env.async
+	h.deadline = env.deadlineFor(e.def)
+	h.health = newItemHealth(env, h)
 	env.Stats().ComputeCalls.Add(1)
+	// The initial compute runs on the subscriber's goroutine (possibly
+	// the clock-advancing one), where a deadline wait could never be
+	// released; deadlines apply to maintenance computes only.
 	v, err := safeWindowCompute(h.compute, now, now)
-	h.cur.Store(h.snaps.put(v, err))
+	snap := h.snaps.put(v, err)
+	h.cur.Store(snap)
+	if err == nil {
+		h.lastGood = snap
+	}
 	h.task = &clock.Task{Data: h}
 	task := h.task
 	h.mu.Unlock()
@@ -118,6 +136,13 @@ func (h *periodicHandler) publish(now clock.Time) (e *entry, end clock.Time, ok 
 		h.mu.Unlock()
 		return nil, 0, false
 	}
+	if h.health.isQuarantined() {
+		// A batch queued before the breaker tripped may still reach a
+		// quarantined handler; the stale publication stands until a
+		// probe succeeds.
+		h.mu.Unlock()
+		return nil, 0, false
+	}
 	e = h.e
 	start := h.winStart
 	env := h.env
@@ -142,12 +167,109 @@ func (h *periodicHandler) publish(now clock.Time) (e *entry, end clock.Time, ok 
 	stats := env.Stats()
 	stats.ComputeCalls.Add(1)
 	stats.PeriodicUpdates.Add(1)
-	v, err := safeWindowCompute(h.compute, start, now)
+	var v Value
+	var err error
+	if h.deadline > 0 {
+		v, err = boundedWindowCompute(env.clk, h.deadline, stats, h.compute, start, now)
+	} else {
+		v, err = safeWindowCompute(h.compute, start, now)
+	}
+	if err == nil || !breakerEligible(err) {
+		h.health.onSuccess()
+		snap := h.snaps.put(v, err)
+		h.cur.Store(snap)
+		if err == nil && h.health != nil {
+			// lastGood is only ever served while quarantined, so the
+			// breaker-less hot path skips the pointer store (and its
+			// write barrier).
+			h.lastGood = snap
+		}
+		h.winStart = now
+		h.mu.Unlock()
+		return e, now, true
+	}
+	// Panic or timeout: count it toward the breaker. Below the trip
+	// threshold the error publishes like any compute failure (degraded,
+	// still scheduled); at the threshold the handler quarantines —
+	// unscheduled from the boundary cadence, last-good value republished
+	// tagged *StaleError, recovery probe armed on backoff — and the
+	// publication still propagates so dependents observe the
+	// degradation.
+	if h.health.onFailure(now, err) {
+		if t := h.task; t != nil {
+			h.task = nil
+			env.scheduler().Cancel(t)
+		}
+		var lastVal Value
+		if h.lastGood != nil {
+			lastVal = h.lastGood.val
+		}
+		h.cur.Store(h.snaps.put(lastVal, h.health.staleError()))
+		// winStart is left in place: the recovery probe recomputes the
+		// cumulative window [winStart, probe instant].
+		h.mu.Unlock()
+		return e, now, true
+	}
 	h.cur.Store(h.snaps.put(v, err))
 	h.winStart = now
 	h.mu.Unlock()
 	return e, now, true
 }
+
+// runProbe implements quarantineOwner: recompute once; success (or an
+// ordinary compute error, which is a legitimate result) closes the
+// breaker, republishes, re-arms the boundary cadence on a fresh task
+// (Cancel retired the old one), and propagates the recovery to
+// dependents; another panic/timeout re-arms the probe on doubled
+// backoff. It runs on the updater with no locks held.
+func (h *periodicHandler) runProbe(now clock.Time) {
+	h.mu.Lock()
+	if h.stopped || h.e == nil {
+		h.mu.Unlock()
+		return
+	}
+	env := h.env
+	start := h.winStart
+	if h.async {
+		if cur := env.Now(); cur > now {
+			now = cur
+		}
+	}
+	if now <= start {
+		h.mu.Unlock()
+		h.health.probeFailed(now, nil)
+		return
+	}
+	stats := env.Stats()
+	stats.ComputeCalls.Add(1)
+	v, err := boundedWindowCompute(env.clk, h.deadline, stats, h.compute, start, now)
+	if err != nil && breakerEligible(err) {
+		h.mu.Unlock()
+		h.health.probeFailed(now, err)
+		return
+	}
+	stats.PeriodicUpdates.Add(1)
+	snap := h.snaps.put(v, err)
+	h.cur.Store(snap)
+	if err == nil {
+		h.lastGood = snap
+	}
+	h.winStart = now
+	h.health.closeBreaker()
+	h.task = &clock.Task{Data: h}
+	task := h.task
+	e := h.e
+	h.mu.Unlock()
+	env.scheduler().At(now.Add(h.window), task)
+	if e.ndeps.Load() > 0 {
+		sc := env.lockScope(e.reg)
+		e.reg.propagateLocked(e, now)
+		sc.unlock()
+	}
+}
+
+// healthSnapshot implements healthCarrier.
+func (h *periodicHandler) healthSnapshot() HealthSnapshot { return h.health.snapshot() }
 
 // tick is the legacy per-handler update path, kept for the
 // WithPerHandlerTicks ablation: publish, then propagate this
@@ -179,4 +301,7 @@ func (h *periodicHandler) stop() {
 		// that already detached it will find its re-arm ignored.
 		env.scheduler().Cancel(t)
 	}
+	// Retire the breaker (and any armed recovery probe) with the
+	// handler.
+	h.health.stop()
 }

@@ -45,6 +45,39 @@ type Stats struct {
 	// PlanCacheMisses counts propagations that had to (re)build their
 	// plan — first use of a seed set or use after a structural change.
 	PlanCacheMisses atomic.Int64
+	// Timeouts counts computations abandoned at their deadline
+	// (published as ErrComputeTimeout).
+	Timeouts atomic.Int64
+	// LateResults counts fenced-off results: a timed-out compute that
+	// eventually finished but whose publication was rejected by the
+	// generation fence because a newer value (or the timeout error) had
+	// already been published.
+	LateResults atomic.Int64
+	// BreakerTrips counts circuit-breaker trips into quarantine.
+	BreakerTrips atomic.Int64
+	// BreakerRecoveries counts breakers closed by a successful probe.
+	BreakerRecoveries atomic.Int64
+	// ShedTicks counts sheddable scope batches dropped by updater
+	// backpressure because a newer batch for the same scope superseded
+	// them while queued.
+	ShedTicks atomic.Int64
+	// QueueDepth is the current number of tasks queued in the updater
+	// (bounded pool updaters only; 0 for inline).
+	QueueDepth atomic.Int64
+	// QueueHighWater is the maximum QueueDepth observed.
+	QueueHighWater atomic.Int64
+}
+
+// noteQueueDepth records a new queue depth, maintaining the high-water
+// mark. Called by bounded updaters on every enqueue.
+func (s *Stats) noteQueueDepth(depth int64) {
+	s.QueueDepth.Store(depth)
+	for {
+		hw := s.QueueHighWater.Load()
+		if depth <= hw || s.QueueHighWater.CompareAndSwap(hw, depth) {
+			return
+		}
+	}
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -63,6 +96,13 @@ type Snapshot struct {
 	BatchedTicks         int64
 	PlanCacheHits        int64
 	PlanCacheMisses      int64
+	Timeouts             int64
+	LateResults          int64
+	BreakerTrips         int64
+	BreakerRecoveries    int64
+	ShedTicks            int64
+	QueueDepth           int64
+	QueueHighWater       int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -82,6 +122,13 @@ func (s *Stats) Snapshot() Snapshot {
 		BatchedTicks:         s.BatchedTicks.Load(),
 		PlanCacheHits:        s.PlanCacheHits.Load(),
 		PlanCacheMisses:      s.PlanCacheMisses.Load(),
+		Timeouts:             s.Timeouts.Load(),
+		LateResults:          s.LateResults.Load(),
+		BreakerTrips:         s.BreakerTrips.Load(),
+		BreakerRecoveries:    s.BreakerRecoveries.Load(),
+		ShedTicks:            s.ShedTicks.Load(),
+		QueueDepth:           s.QueueDepth.Load(),
+		QueueHighWater:       s.QueueHighWater.Load(),
 	}
 }
 
@@ -103,6 +150,15 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		BatchedTicks:         s.BatchedTicks - t.BatchedTicks,
 		PlanCacheHits:        s.PlanCacheHits - t.PlanCacheHits,
 		PlanCacheMisses:      s.PlanCacheMisses - t.PlanCacheMisses,
+		Timeouts:             s.Timeouts - t.Timeouts,
+		LateResults:          s.LateResults - t.LateResults,
+		BreakerTrips:         s.BreakerTrips - t.BreakerTrips,
+		BreakerRecoveries:    s.BreakerRecoveries - t.BreakerRecoveries,
+		ShedTicks:            s.ShedTicks - t.ShedTicks,
+		// Depth and high-water are gauges, not counters; keep the
+		// newer snapshot's values rather than differencing.
+		QueueDepth:     s.QueueDepth,
+		QueueHighWater: s.QueueHighWater,
 	}
 }
 

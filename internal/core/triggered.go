@@ -26,6 +26,16 @@ type triggeredHandler struct {
 	mu    sync.Mutex
 	e     *entry
 	snaps snapAlloc
+
+	// deadline bounds each compute (0 = unbounded), resolved from the
+	// definition/env at start.
+	deadline clock.Duration
+	// health is the item's circuit breaker, nil unless the env enables
+	// WithBreaker.
+	health *itemHealth
+	// lastGood is the latest successfully published snapshot, served
+	// tagged *StaleError while quarantined.
+	lastGood *valueSnapshot
 }
 
 // NewTriggered returns a handler recomputed on dependency updates and
@@ -49,13 +59,21 @@ func (h *triggeredHandler) start(e *entry) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.e = e
+	h.deadline = e.reg.env.deadlineFor(e.def)
+	h.health = newItemHealth(e.reg.env, h)
 	// Pre-compute the initial value (Section 3.2.3: "values of
 	// metadata items with triggered handlers are pre-computed on the
 	// first subscription"). Dependencies are already included at this
-	// point, so compute may read them.
+	// point, so compute may read them. Like the periodic initial
+	// compute, this runs on the subscriber's goroutine and is therefore
+	// never deadline-bounded.
 	e.reg.env.Stats().ComputeCalls.Add(1)
 	v, err := safeCompute(h.compute, e.reg.env.Now())
-	h.cur.Store(h.snaps.put(v, err))
+	snap := h.snaps.put(v, err)
+	h.cur.Store(snap)
+	if err == nil {
+		h.lastGood = snap
+	}
 	return nil
 }
 
@@ -74,17 +92,92 @@ func (h *triggeredHandler) refresh(now clock.Time) error {
 	if h.e == nil {
 		return ErrUnsubscribed
 	}
-	stats := h.e.reg.env.Stats()
+	if h.health.isQuarantined() {
+		// The stale publication stands; recovery goes through the
+		// probe, not through trigger propagation (a quarantined compute
+		// re-run on every upstream update would defeat the quarantine).
+		return ErrStale
+	}
+	env := h.e.reg.env
+	stats := env.Stats()
 	stats.ComputeCalls.Add(1)
 	stats.TriggeredUpdates.Add(1)
-	v, err := safeCompute(h.compute, now)
+	var v Value
+	var err error
+	if h.deadline > 0 {
+		v, err = boundedCompute(env.clk, h.deadline, stats, h.compute, now)
+	} else {
+		v, err = safeCompute(h.compute, now)
+	}
+	if err == nil || !breakerEligible(err) {
+		h.health.onSuccess()
+		snap := h.snaps.put(v, err)
+		h.cur.Store(snap)
+		if err == nil && h.health != nil {
+			// lastGood is only ever served while quarantined, so the
+			// breaker-less hot path skips the pointer store (and its
+			// write barrier).
+			h.lastGood = snap
+		}
+		return err
+	}
+	if h.health.onFailure(now, err) {
+		// Tripped: republish the last-good value tagged stale. The
+		// propagation that invoked this refresh carries the degraded
+		// view onward to deeper dependents; the armed probe owns
+		// recovery.
+		var lastVal Value
+		if h.lastGood != nil {
+			lastVal = h.lastGood.val
+		}
+		h.cur.Store(h.snaps.put(lastVal, h.health.staleError()))
+		return err
+	}
 	h.cur.Store(h.snaps.put(v, err))
 	return err
 }
 
+// runProbe implements quarantineOwner: recompute once on the updater
+// with no locks held; success republishes, closes the breaker, and
+// propagates the recovery so dependents drop their degraded view.
+func (h *triggeredHandler) runProbe(now clock.Time) {
+	h.mu.Lock()
+	if h.e == nil {
+		h.mu.Unlock()
+		return
+	}
+	env := h.e.reg.env
+	stats := env.Stats()
+	stats.ComputeCalls.Add(1)
+	v, err := boundedCompute(env.clk, h.deadline, stats, h.compute, now)
+	if err != nil && breakerEligible(err) {
+		h.mu.Unlock()
+		h.health.probeFailed(now, err)
+		return
+	}
+	stats.TriggeredUpdates.Add(1)
+	snap := h.snaps.put(v, err)
+	h.cur.Store(snap)
+	if err == nil {
+		h.lastGood = snap
+	}
+	h.health.closeBreaker()
+	e := h.e
+	h.mu.Unlock()
+	if e.ndeps.Load() > 0 {
+		sc := env.lockScope(e.reg)
+		e.reg.propagateLocked(e, now)
+		sc.unlock()
+	}
+}
+
+// healthSnapshot implements healthCarrier.
+func (h *triggeredHandler) healthSnapshot() HealthSnapshot { return h.health.snapshot() }
+
 func (h *triggeredHandler) stop() {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.e = nil
 	h.cur.Store(nil)
+	h.mu.Unlock()
+	h.health.stop()
 }

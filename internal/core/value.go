@@ -34,6 +34,20 @@ var (
 	// errors surfaced on Value()/Subscribe so a faulty metadata item
 	// cannot wedge component locks or kill updater workers.
 	ErrComputePanic = errors.New("core: metadata computation panicked")
+	// ErrComputeTimeout reports that a metadata computation exceeded
+	// its configured deadline (WithComputeDeadline or the definition's
+	// override). The computation is abandoned — its goroutine is fenced
+	// by a generation counter so a late result can never overwrite a
+	// newer publication — and the worker slot is released.
+	ErrComputeTimeout = errors.New("core: metadata computation timed out")
+	// ErrStale tags a value served by a quarantined handler: the
+	// circuit breaker tripped and the item now serves its last-good
+	// value instead of recomputing. Reads return (lastGood, *StaleError);
+	// errors.Is(err, ErrStale) identifies the condition and the
+	// *StaleError carries the quarantine instant, the live age, and the
+	// failure that tripped the breaker, so degrade-aware consumers can
+	// keep operating on the stale value.
+	ErrStale = errors.New("core: serving stale value, item quarantined")
 )
 
 // Float converts a numeric metadata value to float64.

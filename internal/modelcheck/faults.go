@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -204,6 +205,285 @@ func RunFaultSlowPeriodic(t *testing.T, seed int64) {
 	if err := core.ScopesUnlocked(sys.Regs...); err != nil {
 		t.Fatalf("%s: %v", at, err)
 	}
+	for _, s := range subs {
+		s.sub.Unsubscribe()
+	}
+	checkClean(t, fmt.Sprintf("seed=%d teardown", seed), sys)
+}
+
+// waitFor polls cond until it holds, failing the test after a real-
+// time grace period. It synchronizes with pool-worker progress that
+// happens on OS scheduling, not on the virtual clock (a worker
+// reaching a hang gate, a released late result landing in the stats).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// health returns the victim's current health snapshot.
+func health(t *testing.T, sys *System, k ikey) core.HealthSnapshot {
+	t.Helper()
+	hs, ok := sys.Regs[k.reg].Health(k.kind)
+	if !ok {
+		t.Fatalf("item %v not included", k)
+	}
+	return hs
+}
+
+// RunFaultHungCompute drives one periodic item of a seeded topology
+// into a hung computation on a pool updater with a compute deadline
+// and a breaker armed: each hung window computation times out, two
+// timeouts trip the breaker, and the quarantined item must serve its
+// last-good value — the value the reference model held at the fault
+// instant — tagged stale, until a recovery probe succeeds after the
+// fault heals. Late results from released hung computations must be
+// fenced off (counted, never published).
+func RunFaultHungCompute(t *testing.T, seed int64) {
+	t.Helper()
+	wl := Generate(seed, Config{Ops: 1})
+	rng := rand.New(rand.NewSource(seed))
+	victim := pickPeriodic(wl, rng)
+	// Pin the victim's window so the deadline choreography below is
+	// seed-independent: window 8 with deadline 2 leaves room to fire
+	// each timeout strictly before the next boundary.
+	wl.Item(victim.reg, victim.kind).Window = 8
+	hang := NewHangFault()
+	u := core.NewPoolUpdater(4)
+	defer u.Stop()
+	sys := NewSystem(wl, u,
+		&Faults{HangPeriodic: map[ikey]*HangFault{victim: hang}},
+		core.WithComputeDeadline(2),
+		core.WithBreaker(core.BreakerPolicy{
+			FailureThreshold: 2,
+			FailureWindow:    1 << 20,
+			ProbeBackoff:     3,
+			MaxProbeBackoff:  12,
+		}))
+	model := NewModel(wl)
+	subs := subscribeAll(t, seed, wl, sys)
+	for _, s := range subs {
+		if err := model.Subscribe(s.key.reg, s.key.kind); err != nil {
+			t.Fatalf("seed=%d: model rejects %v: %v", seed, s.key, err)
+		}
+	}
+	at := func(what string) string {
+		return fmt.Sprintf("seed=%d hung compute (victim %v): %s", seed, victim, what)
+	}
+
+	// Healthy warm-up: one full window in lockstep with the model.
+	// (Other items' windows may clamp under pool scheduling; the
+	// victim's boundary is the last instant of the advance, so its
+	// window is exact.)
+	sys.Clk.Advance(8)
+	sys.Env.Quiesce()
+	model.Advance(8)
+	expected, ok := model.Value(victim.reg, victim.kind)
+	if !ok {
+		t.Fatalf("%s: model lost the victim", at("warm-up"))
+	}
+	if v, err := sys.Regs[victim.reg].Peek(victim.kind); err != nil || v != any(expected) {
+		t.Fatalf("%s: victim (%v, %v), model %v", at("warm-up"), v, err, expected)
+	}
+	// The fault engages now; the next boundary (t=16) is the fault
+	// instant. `expected` — the model's value as of this instant, the
+	// window [0,8] — is what the quarantined item must keep serving.
+	hang.Engage()
+
+	// Failure 1: boundary at t=16 hangs, deadline fires at t=18.
+	sys.Clk.Advance(8)
+	waitFor(t, "first hung compute", func() bool { return hang.Caught() == 1 })
+	sys.Clk.Advance(2)
+	sys.Env.Quiesce()
+	if got := health(t, sys, victim).State; got != core.Degraded {
+		t.Fatalf("%s: health %v, want Degraded", at("after first timeout"), got)
+	}
+	if _, err := sys.Regs[victim.reg].Peek(victim.kind); !errors.Is(err, core.ErrComputeTimeout) {
+		t.Fatalf("%s: victim Peek error %v, want ErrComputeTimeout", at("after first timeout"), err)
+	}
+
+	// Failure 2: boundary at t=24 hangs, timeout at t=26 trips the
+	// breaker. The item unschedules and republishes its last-good
+	// value tagged stale.
+	sys.Clk.Advance(6)
+	waitFor(t, "second hung compute", func() bool { return hang.Caught() == 2 })
+	sys.Clk.Advance(2)
+	sys.Env.Quiesce()
+	if got := health(t, sys, victim).State; got != core.Quarantined {
+		t.Fatalf("%s: health %v, want Quarantined", at("after trip"), got)
+	}
+	v, err := sys.Regs[victim.reg].Peek(victim.kind)
+	if !errors.Is(err, core.ErrStale) || !errors.Is(err, core.ErrComputeTimeout) {
+		t.Fatalf("%s: victim Peek error %v, want ErrStale wrapping ErrComputeTimeout", at("after trip"), err)
+	}
+	if v != any(expected) {
+		t.Fatalf("%s: stale value %v, want model value at fault instant %v", at("after trip"), v, expected)
+	}
+
+	// First recovery probe (armed at t=27) still hangs: it times out
+	// at t=29 and re-arms on doubled backoff (t=33).
+	sys.Clk.Advance(1)
+	waitFor(t, "hung probe compute", func() bool { return hang.Caught() == 3 })
+	sys.Clk.Advance(2)
+	sys.Env.Quiesce()
+	if got := health(t, sys, victim).State; got != core.Quarantined {
+		t.Fatalf("%s: health %v, want Quarantined", at("after failed probe"), got)
+	}
+
+	// Heal. The three hung computations release and complete, but the
+	// generation fence rejects every late result: counted, never
+	// published.
+	hang.Heal()
+	st := sys.Env.Stats()
+	waitFor(t, "late results fenced", func() bool { return st.LateResults.Load() == 3 })
+	if v, err := sys.Regs[victim.reg].Peek(victim.kind); !errors.Is(err, core.ErrStale) || v != any(expected) {
+		t.Fatalf("%s: victim (%v, %v), want fenced stale value %v", at("after heal"), v, err, expected)
+	}
+
+	// Second probe at t=33 succeeds: the breaker closes, the item
+	// publishes the cumulative window since its last good one and
+	// resumes its boundary cadence.
+	sys.Clk.Advance(4)
+	sys.Env.Quiesce()
+	if got := health(t, sys, victim).State; got != core.Healthy {
+		t.Fatalf("%s: health %v, want Healthy", at("after recovery"), got)
+	}
+	if v, err := sys.Regs[victim.reg].Peek(victim.kind); err != nil || v != any(encodeWindow(16, 33)) {
+		t.Fatalf("%s: victim (%v, %v), want %v", at("after recovery"), v, err, encodeWindow(16, 33))
+	}
+	sys.Clk.Advance(8)
+	sys.Env.Quiesce()
+	if v, err := sys.Regs[victim.reg].Peek(victim.kind); err != nil || v != any(encodeWindow(33, 41)) {
+		t.Fatalf("%s: victim (%v, %v), want resumed cadence %v", at("after recovery"), v, err, encodeWindow(33, 41))
+	}
+	snap := st.Snapshot()
+	if snap.Timeouts != 3 || snap.BreakerTrips != 1 || snap.BreakerRecoveries != 1 {
+		t.Fatalf("%s: timeouts=%d trips=%d recoveries=%d, want 3/1/1",
+			at("stats"), snap.Timeouts, snap.BreakerTrips, snap.BreakerRecoveries)
+	}
+
+	if errs := core.VerifyIntegrity(extCounts(wl, subs), sys.BaseRegs()...); len(errs) > 0 {
+		t.Fatalf("%s: integrity violations: %v", at("final"), errs)
+	}
+	if err := core.ScopesUnlocked(sys.Regs...); err != nil {
+		t.Fatalf("%s: %v", at("final"), err)
+	}
+	// The victim's log holds late-released and probe windows that were
+	// never published in order; everyone else must still tile time.
+	checkWindowLogs(t, at("final"), sys, map[ikey]bool{victim: true})
+	for _, s := range subs {
+		s.sub.Unsubscribe()
+	}
+	checkClean(t, fmt.Sprintf("seed=%d teardown", seed), sys)
+}
+
+// RunFaultFlappingCompute drives one periodic item through repeated
+// panic bursts on the deterministic inline updater: each burst of two
+// panics trips the breaker, the recovery probe lands on the healthy
+// computation of the flap cycle and closes it again. Quarantine entry
+// and exit must both be observable, and the quarantined value must
+// equal the reference model's value at the fault instant.
+func RunFaultFlappingCompute(t *testing.T, seed int64) {
+	t.Helper()
+	wl := Generate(seed, Config{Ops: 1})
+	rng := rand.New(rand.NewSource(seed))
+	victim := pickPeriodic(wl, rng)
+	w := int64(wl.Item(victim.reg, victim.kind).Window)
+	flap := &FlapFault{Skip: 1, Burst: 2}
+	sys := NewSystem(wl, nil,
+		&Faults{FlapPeriodic: map[ikey]*FlapFault{victim: flap}},
+		core.WithBreaker(core.BreakerPolicy{
+			FailureThreshold: 2,
+			FailureWindow:    1 << 20,
+			ProbeBackoff:     2,
+			MaxProbeBackoff:  16,
+		}))
+	model := NewModel(wl)
+	subs := subscribeAll(t, seed, wl, sys)
+	for _, s := range subs {
+		if err := model.Subscribe(s.key.reg, s.key.kind); err != nil {
+			t.Fatalf("seed=%d: model rejects %v: %v", seed, s.key, err)
+		}
+	}
+	at := func(what string) string {
+		return fmt.Sprintf("seed=%d flapping compute (victim %v, window %d): %s", seed, victim, w, what)
+	}
+
+	// One healthy window, then advance the model to just before the
+	// first panicking boundary at t=2w: its value there — the window
+	// [0,w] — is the reference the quarantined item must serve.
+	sys.Clk.Advance(clock.Duration(w))
+	model.Advance(w)
+	model.Advance(w - 1)
+	expected, ok := model.Value(victim.reg, victim.kind)
+	if !ok {
+		t.Fatalf("%s: model lost the victim", at("warm-up"))
+	}
+
+	// Burst 1: panics at t=2w (degraded) and t=3w (trip).
+	sys.Clk.Advance(clock.Duration(w))
+	if got := health(t, sys, victim).State; got != core.Degraded {
+		t.Fatalf("%s: health %v, want Degraded", at("after first panic"), got)
+	}
+	sys.Clk.Advance(clock.Duration(w))
+	if got := health(t, sys, victim).State; got != core.Quarantined {
+		t.Fatalf("%s: health %v, want Quarantined", at("after burst 1"), got)
+	}
+	v, err := sys.Regs[victim.reg].Peek(victim.kind)
+	if !errors.Is(err, core.ErrStale) || !errors.Is(err, core.ErrComputePanic) {
+		t.Fatalf("%s: victim Peek error %v, want ErrStale wrapping ErrComputePanic", at("after burst 1"), err)
+	}
+	if v != any(expected) {
+		t.Fatalf("%s: stale value %v, want model value at fault instant %v", at("after burst 1"), v, expected)
+	}
+
+	// Probe at t=3w+2 lands on the flap cycle's healthy computation:
+	// breaker closes, cumulative window [2w, 3w+2] publishes, cadence
+	// re-arms.
+	sys.Clk.Advance(2)
+	if got := health(t, sys, victim).State; got != core.Healthy {
+		t.Fatalf("%s: health %v, want Healthy", at("after probe 1"), got)
+	}
+	rec1 := encodeWindow(clock.Time(2*w), clock.Time(3*w+2))
+	if v, err := sys.Regs[victim.reg].Peek(victim.kind); err != nil || v != any(rec1) {
+		t.Fatalf("%s: victim (%v, %v), want %v", at("after probe 1"), v, err, rec1)
+	}
+
+	// Burst 2: panics at t=4w+2 and t=5w+2 trip again; the stale value
+	// is now the recovery window of cycle 1.
+	sys.Clk.Advance(clock.Duration(w))
+	sys.Clk.Advance(clock.Duration(w))
+	if got := health(t, sys, victim).State; got != core.Quarantined {
+		t.Fatalf("%s: health %v, want Quarantined", at("after burst 2"), got)
+	}
+	if v, err := sys.Regs[victim.reg].Peek(victim.kind); !errors.Is(err, core.ErrStale) || v != any(rec1) {
+		t.Fatalf("%s: victim (%v, %v), want stale %v", at("after burst 2"), v, err, rec1)
+	}
+	sys.Clk.Advance(2)
+	if got := health(t, sys, victim).State; got != core.Healthy {
+		t.Fatalf("%s: health %v, want Healthy", at("after probe 2"), got)
+	}
+	rec2 := encodeWindow(clock.Time(4*w+2), clock.Time(5*w+4))
+	if v, err := sys.Regs[victim.reg].Peek(victim.kind); err != nil || v != any(rec2) {
+		t.Fatalf("%s: victim (%v, %v), want %v", at("after probe 2"), v, err, rec2)
+	}
+	snap := sys.Env.Stats().Snapshot()
+	if snap.BreakerTrips != 2 || snap.BreakerRecoveries != 2 {
+		t.Fatalf("%s: trips=%d recoveries=%d, want 2/2", at("stats"), snap.BreakerTrips, snap.BreakerRecoveries)
+	}
+
+	if errs := core.VerifyIntegrity(extCounts(wl, subs), sys.BaseRegs()...); len(errs) > 0 {
+		t.Fatalf("%s: integrity violations: %v", at("final"), errs)
+	}
+	if err := core.ScopesUnlocked(sys.Regs...); err != nil {
+		t.Fatalf("%s: %v", at("final"), err)
+	}
+	checkWindowLogs(t, at("final"), sys, map[ikey]bool{victim: true})
 	for _, s := range subs {
 		s.sub.Unsubscribe()
 	}

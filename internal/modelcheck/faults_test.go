@@ -54,3 +54,34 @@ func TestFaultInjection(t *testing.T) {
 		}
 	})
 }
+
+// TestQuarantineHungCompute checks the degraded-mode contract against
+// the reference model: a periodic item whose computation hangs on a
+// pool worker times out, trips the breaker after repeated timeouts,
+// serves the model's value at the fault instant tagged stale, fences
+// off late results from released computations, and recovers through a
+// backoff probe once the fault heals. Top-level (not a subtest of
+// TestFaultInjection) so the CI deadline-fault race job's
+// -run 'Quarantine|Deadline|Backpressure' filter reaches it.
+func TestQuarantineHungCompute(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunFaultHungCompute(t, seed)
+		})
+	}
+}
+
+// TestQuarantineFlappingCompute checks repeated quarantine entry/exit
+// on the deterministic inline updater: panic bursts trip the breaker,
+// recovery probes close it, and each quarantined phase serves the
+// last-good value (cycle 1: the reference model's value at the fault
+// instant) tagged stale.
+func TestQuarantineFlappingCompute(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunFaultFlappingCompute(t, seed)
+		})
+	}
+}

@@ -3,6 +3,7 @@ package modelcheck
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -32,6 +33,14 @@ type Faults struct {
 	// outlives its window" scenario; only meaningful on a pool
 	// updater, where computations run off the clock goroutine).
 	BlockPeriodic map[ikey]chan struct{}
+	// HangPeriodic makes periodic window computations of the item hang
+	// while the fault is engaged. Pair with core.WithComputeDeadline +
+	// core.WithBreaker: each hung computation times out, counts a
+	// breaker failure, and eventually quarantines the item.
+	HangPeriodic map[ikey]*HangFault
+	// FlapPeriodic makes periodic window computations of the item
+	// panic in bursts, driving repeated breaker trip/recover cycles.
+	FlapPeriodic map[ikey]*FlapFault
 }
 
 func (f *Faults) panicBuild(k ikey) bool    { return f != nil && f.PanicBuild[k] }
@@ -42,6 +51,89 @@ func (f *Faults) blockPeriodic(k ikey) chan struct{} {
 		return nil
 	}
 	return f.BlockPeriodic[k]
+}
+func (f *Faults) hangPeriodic(k ikey) *HangFault {
+	if f == nil {
+		return nil
+	}
+	return f.HangPeriodic[k]
+}
+func (f *Faults) flapPeriodic(k ikey) *FlapFault {
+	if f == nil {
+		return nil
+	}
+	return f.FlapPeriodic[k]
+}
+
+// HangFault is a switchable hung-compute injector: while engaged,
+// every faulted computation blocks at the gate until Heal releases
+// them all. Caught counts computations that reached the gate while
+// engaged, letting a test synchronize with a pool worker entering the
+// hang before it advances the clock past the compute deadline.
+type HangFault struct {
+	mu      sync.Mutex
+	release chan struct{} // non-nil while engaged
+	caught  atomic.Int32
+}
+
+// NewHangFault returns a disengaged hung-compute injector.
+func NewHangFault() *HangFault { return &HangFault{} }
+
+// Engage makes subsequent faulted computations hang.
+func (f *HangFault) Engage() {
+	f.mu.Lock()
+	if f.release == nil {
+		f.release = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+// Heal releases every hung computation and stops hanging new ones.
+func (f *HangFault) Heal() {
+	f.mu.Lock()
+	if f.release != nil {
+		close(f.release)
+		f.release = nil
+	}
+	f.mu.Unlock()
+}
+
+// Caught reports how many computations have entered the gate while
+// the fault was engaged (released ones included).
+func (f *HangFault) Caught() int { return int(f.caught.Load()) }
+
+func (f *HangFault) gate() {
+	f.mu.Lock()
+	ch := f.release
+	f.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	f.caught.Add(1)
+	<-ch
+}
+
+// FlapFault is a flapping-compute injector: after Skip healthy
+// computations, each cycle is Burst consecutive panics followed by
+// one success. Paired with a breaker whose FailureThreshold equals
+// Burst, every burst trips the breaker and the next computation — the
+// recovery probe — closes it again, driving repeated quarantine
+// entry/exit.
+type FlapFault struct {
+	Skip  int // initial computations that succeed
+	Burst int // consecutive panics per cycle
+
+	n atomic.Int64
+}
+
+// step advances the flap sequence by one computation and reports
+// whether it must panic.
+func (f *FlapFault) step() bool {
+	i := f.n.Add(1)
+	if i <= int64(f.Skip) {
+		return false
+	}
+	return (i-int64(f.Skip)-1)%int64(f.Burst+1) < int64(f.Burst)
 }
 
 // WindowLog records the window sequence one periodic handler instance
@@ -88,13 +180,16 @@ type System struct {
 
 // NewSystem builds the system under test. updater may be nil for the
 // deterministic inline updater; pass a pool updater for concurrent
-// stress. faults may be nil.
-func NewSystem(wl *Workload, updater core.Updater, faults *Faults) *System {
+// stress. faults may be nil. extra env options (e.g. core.WithBreaker,
+// core.WithComputeDeadline for the degraded-mode fault scenarios) are
+// applied after the updater.
+func NewSystem(wl *Workload, updater core.Updater, faults *Faults, extra ...core.EnvOption) *System {
 	vc := clock.NewVirtual()
 	var opts []core.EnvOption
 	if updater != nil {
 		opts = append(opts, core.WithUpdater(updater))
 	}
+	opts = append(opts, extra...)
 	s := &System{Wl: wl, Clk: vc, Env: core.NewEnv(vc, opts...), faults: faults}
 
 	for _, spec := range wl.Regs {
@@ -179,17 +274,25 @@ func (s *System) definition(ri int, it ItemSpec) *core.Definition {
 				s.mu.Lock()
 				s.logs = append(s.logs, log)
 				s.mu.Unlock()
-				first := true
+				// calls is atomic: with compute deadlines an abandoned
+				// (hung) computation may still be running when the next
+				// one starts, so the closure must be race-free.
+				var calls atomic.Int64
 				return core.NewPeriodic(it.Window, func(start, end clock.Time) (core.Value, error) {
-					if !first {
+					if calls.Add(1) > 1 {
 						if ch := s.faults.blockPeriodic(k); ch != nil {
 							<-ch
+						}
+						if hf := s.faults.hangPeriodic(k); hf != nil {
+							hf.gate()
 						}
 						if s.faults.panicPeriodic(k) {
 							panic(fmt.Sprintf("injected: periodic %v", k))
 						}
+						if ff := s.faults.flapPeriodic(k); ff != nil && ff.step() {
+							panic(fmt.Sprintf("injected: flap %v", k))
+						}
 					}
-					first = false
 					log.add(start, end)
 					return encodeWindow(start, end), nil
 				}), nil

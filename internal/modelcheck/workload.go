@@ -67,15 +67,15 @@ type OpKind int
 // concurrent driver all advances run on one worker because the
 // virtual clock forbids re-entrant advancement.
 const (
-	OpSubscribe OpKind = iota // subscribe to (Reg, Item); hold the subscription
-	OpUnsubscribe             // release held subscription #Arg (mod pool size)
-	OpAdvance                 // advance the virtual clock by Arg units
-	OpFireEvent               // fire Event on Reg
-	OpNotifyChanged           // announce a change of (Reg, Item)
-	OpRead                    // read (Reg, Item) via Peek
-	OpRedefine                // re-Define (Reg, Item); fails while included
-	OpDetachModule            // detach module Reg from its parent
-	OpAttachModule            // re-attach module Reg to its parent
+	OpSubscribe     OpKind = iota // subscribe to (Reg, Item); hold the subscription
+	OpUnsubscribe                 // release held subscription #Arg (mod pool size)
+	OpAdvance                     // advance the virtual clock by Arg units
+	OpFireEvent                   // fire Event on Reg
+	OpNotifyChanged               // announce a change of (Reg, Item)
+	OpRead                        // read (Reg, Item) via Peek
+	OpRedefine                    // re-Define (Reg, Item); fails while included
+	OpDetachModule                // detach module Reg from its parent
+	OpAttachModule                // re-attach module Reg to its parent
 )
 
 // Op is one step of a workload script.

@@ -273,6 +273,18 @@ func (p OverheadProfile) FormatPipeline() string {
 		p.Window.PlanCacheHits, p.Window.PlanCacheMisses, p.PlanHitRate())
 }
 
+// FormatHealth renders the window's degraded-operation counters as a
+// one-line summary: compute deadline hits, fenced late results,
+// breaker activity, and updater backpressure (shed scope batches plus
+// the bounded queue's current depth and high-water mark — the two
+// gauges report end-of-window state, not a delta).
+func (p OverheadProfile) FormatHealth() string {
+	return fmt.Sprintf("timeouts=%d lateResults=%d trips=%d recoveries=%d shedTicks=%d queueDepth=%d queueHighWater=%d",
+		p.Window.Timeouts, p.Window.LateResults,
+		p.Window.BreakerTrips, p.Window.BreakerRecoveries,
+		p.Window.ShedTicks, p.Window.QueueDepth, p.Window.QueueHighWater)
+}
+
 // Profiler captures framework overhead over a time window.
 type Profiler struct {
 	env   *core.Env

@@ -171,6 +171,62 @@ func TestProfilerMeasuresUpdateWork(t *testing.T) {
 	}
 }
 
+func TestOverheadProfileHealth(t *testing.T) {
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc, core.WithBreaker(core.BreakerPolicy{
+		FailureThreshold: 2,
+		FailureWindow:    1000,
+		ProbeBackoff:     5,
+		MaxProbeBackoff:  40,
+	}))
+	r := env.NewRegistry("p")
+	fail := false
+	r.MustDefine(&core.Definition{
+		Kind: "flaky",
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewPeriodic(10, func(a, b clock.Time) (core.Value, error) {
+				if fail {
+					panic("injected")
+				}
+				return 7.0, nil
+			}), nil
+		},
+	})
+	sub, err := r.Subscribe("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+
+	p := NewProfiler(env)
+	fail = true
+	vc.Advance(20) // two panicking boundaries: degraded at 10, tripped at 20
+	prof := p.Stop()
+	if prof.Window.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", prof.Window.BreakerTrips)
+	}
+	line := prof.FormatHealth()
+	for _, want := range []string{"trips=1", "timeouts=0", "recoveries=0", "shedTicks=0"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("FormatHealth() = %q, missing %q", line, want)
+		}
+	}
+
+	// Recovery: heal and let the probe (armed at t=25) close the
+	// breaker; a fresh window shows the recovery, not the old trip.
+	p.Reset()
+	fail = false
+	vc.Advance(5)
+	prof = p.Stop()
+	if prof.Window.BreakerTrips != 0 || prof.Window.BreakerRecoveries != 1 {
+		t.Fatalf("after recovery: trips=%d recoveries=%d, want 0/1",
+			prof.Window.BreakerTrips, prof.Window.BreakerRecoveries)
+	}
+	if line := prof.FormatHealth(); !strings.Contains(line, "recoveries=1") {
+		t.Fatalf("FormatHealth() = %q, missing recoveries=1", line)
+	}
+}
+
 func TestOverheadProfileZeroDuration(t *testing.T) {
 	var p OverheadProfile
 	if p.UpdatesPerTimeUnit() != 0 {

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -15,12 +16,19 @@ type ItemSnapshot struct {
 	// Mechanism is the handler's update mechanism.
 	Mechanism string `json:"mechanism"`
 	// Value is the current value (numbers as float64, everything else
-	// stringified).
+	// stringified). A quarantined item reports its last-good value
+	// here, with Health/StaleFor flagging the degradation.
 	Value any `json:"value"`
 	// Error carries a failed read.
 	Error string `json:"error,omitempty"`
 	// Refs is the item's subscription count.
 	Refs int `json:"refs"`
+	// Health is the item's breaker state ("degraded", "quarantined",
+	// "probing"); omitted while healthy.
+	Health string `json:"health,omitempty"`
+	// StaleFor is how long a quarantined item has been serving its
+	// last-good value, in clock units; 0 unless quarantined/probing.
+	StaleFor int64 `json:"staleFor,omitempty"`
 }
 
 // NodeSnapshot captures one registry (node or module).
@@ -47,19 +55,25 @@ func Snapshot(g *graph.Graph) []NodeSnapshot {
 			if mech, ok := r.Mechanism(kind); ok {
 				item.Mechanism = mech.String()
 			}
+			if hs, ok := r.Health(kind); ok && hs.State != core.Healthy {
+				item.Health = hs.State.String()
+				item.StaleFor = int64(hs.StaleFor)
+			}
 			// Peek reads the live value without subscription churn:
 			// monitoring never perturbs reference counts or takes the
 			// structural locks of the scopes it observes.
 			v, err := r.Peek(kind)
 			if err != nil {
 				item.Error = err.Error()
-			} else {
-				switch v.(type) {
-				case float64, int, int64, bool, string, nil:
-					item.Value = v
-				default:
-					item.Value = fmt.Sprint(v)
+				if !errors.Is(err, core.ErrStale) {
+					v = nil
 				}
+			}
+			switch v.(type) {
+			case float64, int, int64, bool, string, nil:
+				item.Value = v
+			default:
+				item.Value = fmt.Sprint(v)
 			}
 			ns.Items = append(ns.Items, item)
 		}

@@ -88,6 +88,72 @@ func TestSnapshotJSONRoundTrips(t *testing.T) {
 	}
 }
 
+func TestSnapshotReportsQuarantine(t *testing.T) {
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc, core.WithBreaker(core.BreakerPolicy{
+		FailureThreshold: 2,
+		FailureWindow:    1000,
+		ProbeBackoff:     5,
+		MaxProbeBackoff:  40,
+	}))
+	g := graph.New(env)
+	f := ops.NewFilter(g, "f", intSchema, func(stream.Tuple) bool { return true }, 0)
+	fail := false
+	f.Registry().MustDefine(&core.Definition{
+		Kind: "flaky",
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewPeriodic(10, func(a, b clock.Time) (core.Value, error) {
+				if fail {
+					panic("injected")
+				}
+				return 7.0, nil
+			}), nil
+		},
+	})
+	sub, err := f.Registry().Subscribe("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+
+	fail = true
+	vc.Advance(20) // two panicking boundaries trip the breaker at t=20
+	vc.Advance(3)  // stale age grows while quarantined (probe due at 25)
+
+	var item ItemSnapshot
+	found := false
+	for _, ns := range Snapshot(g) {
+		for _, it := range ns.Items {
+			if it.Kind == "flaky" {
+				item, found = it, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("flaky item missing from snapshot")
+	}
+	if item.Health != "quarantined" {
+		t.Fatalf("Health = %q, want quarantined", item.Health)
+	}
+	if item.StaleFor != 3 {
+		t.Fatalf("StaleFor = %d, want 3", item.StaleFor)
+	}
+	if item.Value != any(7.0) {
+		t.Fatalf("Value = %v, want last-good 7", item.Value)
+	}
+	if !strings.Contains(item.Error, "stale") {
+		t.Fatalf("Error = %q, want stale tag", item.Error)
+	}
+
+	raw, err := SnapshotJSON(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"health": "quarantined"`) {
+		t.Fatalf("JSON missing health field:\n%s", raw)
+	}
+}
+
 func TestSnapshotEmptyGraph(t *testing.T) {
 	vc := clock.NewVirtual()
 	g := graph.New(core.NewEnv(vc))

@@ -64,6 +64,35 @@ type (
 	Recorder = monitor.Recorder
 	// AggFunc is an incremental windowed aggregate.
 	AggFunc = ops.AggFunc
+	// BreakerPolicy configures the per-item circuit breaker (see
+	// WithBreaker).
+	BreakerPolicy = core.BreakerPolicy
+	// HealthState is an item's degraded-operation state.
+	HealthState = core.HealthState
+	// HealthSnapshot is a point-in-time view of an item's breaker
+	// state, obtained from Registry.Health.
+	HealthSnapshot = core.HealthSnapshot
+)
+
+// Re-exported degraded-operation states and sentinels.
+const (
+	Healthy     = core.Healthy
+	Degraded    = core.Degraded
+	Quarantined = core.Quarantined
+	Probing     = core.Probing
+)
+
+var (
+	// ErrStale tags reads served from a quarantined item's last-good
+	// value: errors.Is(err, ErrStale) detects it, and the returned
+	// value is still usable.
+	ErrStale = core.ErrStale
+	// ErrComputeTimeout reports a metadata computation that exceeded
+	// its deadline.
+	ErrComputeTimeout = core.ErrComputeTimeout
+	// DefaultBreakerPolicy is the breaker configuration WithBreaker
+	// falls back to.
+	DefaultBreakerPolicy = core.DefaultBreakerPolicy
 )
 
 // Re-exported generator constructors.
@@ -135,6 +164,7 @@ type System struct {
 
 	statWindow Duration
 	engOpts    []engine.Option
+	envOpts    []core.EnvOption
 	bindings   []func(e *engine.Engine)
 	pool       core.Updater
 }
@@ -153,6 +183,31 @@ func WithStatWindow(w Duration) SystemOption {
 // goroutines instead of inline (for large query graphs).
 func WithUpdaterPool(k int) SystemOption {
 	return func(s *System) { s.pool = core.NewPoolUpdater(k) }
+}
+
+// WithBoundedUpdaterPool is WithUpdaterPool with a bounded task queue:
+// under backpressure, queued periodic scope batches superseded by a
+// newer boundary are coalesced (counted in Stats.ShedTicks), while
+// triggered propagations are never dropped.
+func WithBoundedUpdaterPool(k, capacity int) SystemOption {
+	return func(s *System) { s.pool = core.NewPoolUpdater(k, core.WithQueueCapacity(capacity)) }
+}
+
+// WithComputeDeadline bounds every asynchronous metadata computation
+// (pool-updater maintenance work) to d time units; a compute that
+// overruns publishes ErrComputeTimeout and its late result is fenced
+// off. Inert on the inline updater.
+func WithComputeDeadline(d Duration) SystemOption {
+	return func(s *System) { s.envOpts = append(s.envOpts, core.WithComputeDeadline(d)) }
+}
+
+// WithBreaker arms a per-item circuit breaker: an item whose compute
+// panics or times out repeatedly is quarantined — unscheduled, serving
+// its last-good value tagged ErrStale — and re-probed on exponential
+// backoff until it recovers. A zero policy selects
+// DefaultBreakerPolicy.
+func WithBreaker(p BreakerPolicy) SystemOption {
+	return func(s *System) { s.envOpts = append(s.envOpts, core.WithBreaker(p)) }
 }
 
 // WithScheduling switches execution to budget mode: every tick time
@@ -185,6 +240,7 @@ func NewSystem(opts ...SystemOption) *System {
 	if s.pool != nil {
 		envOpts = append(envOpts, core.WithUpdater(s.pool))
 	}
+	envOpts = append(envOpts, s.envOpts...)
 	s.env = core.NewEnv(s.vc, envOpts...)
 	s.graph = graph.New(s.env)
 	return s
