@@ -598,6 +598,79 @@ func BenchmarkValueReadParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkE20MemoizedReads measures the hot-item read fan-out of E20
+// as a parallel read benchmark (run with -cpu 1,8): one Pure on-demand
+// item summing four static dependencies, read from every benchmark
+// goroutine. With memo=on the steady state is a lock-free stamped-memo
+// hit (0 allocs/op); with memo=off every read takes the handler mutex
+// and recomputes, so the goroutines serialize.
+func BenchmarkE20MemoizedReads(b *testing.B) {
+	for _, memo := range []bool{true, false} {
+		name := "memo=off"
+		var opts []core.EnvOption
+		if memo {
+			name = "memo=on"
+			opts = append(opts, core.WithMemoizedOnDemand())
+		}
+		b.Run(name, func(b *testing.B) {
+			vc := clock.NewVirtual()
+			env := core.NewEnv(vc, opts...)
+			r := env.NewRegistry("op")
+			const deps = 4
+			drefs := make([]core.DepRef, 0, deps)
+			for i := 0; i < deps; i++ {
+				kind := core.Kind("d" + string(rune('0'+i)))
+				v := float64(i + 1)
+				r.MustDefine(&core.Definition{
+					Kind:  kind,
+					Build: func(*core.BuildContext) (core.Handler, error) { return core.NewStatic(v), nil },
+				})
+				drefs = append(drefs, core.Dep(core.Self(), kind))
+			}
+			r.MustDefine(&core.Definition{
+				Kind: "hot",
+				Deps: drefs,
+				Pure: true,
+				Build: func(ctx *core.BuildContext) (core.Handler, error) {
+					hs := make([]*core.Handle, len(drefs))
+					for i := range drefs {
+						hs[i] = ctx.Dep(i)
+					}
+					return core.NewOnDemand(func(clock.Time) (core.Value, error) {
+						var sum float64
+						for _, h := range hs {
+							f, err := h.Float()
+							if err != nil {
+								return nil, err
+							}
+							sum += f
+						}
+						return sum, nil
+					}), nil
+				},
+			})
+			s, err := r.Subscribe("hot")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Unsubscribe()
+			if v, err := s.Float(); err != nil || v != 10 {
+				b.Fatalf("hot = %v, %v; want 10", v, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := s.Value(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkSubscribeChurnParallel measures subscribe/unsubscribe churn
 // over independent registries from many goroutines (run with
 // -cpu 1,4,8). Each registry is its own dependency-scope component, so

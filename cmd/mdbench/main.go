@@ -91,6 +91,25 @@ var experiments = map[string]struct {
 		}
 		return bench.E19Table(bench.RunE19(1000, 4, 50, elapsed))
 	}},
+	"e20": {"hot-item read fan-out: memoized vs recompute", func() *bench.Table {
+		elapsed := func(fn func()) int64 {
+			start := time.Now()
+			fn()
+			return time.Since(start).Nanoseconds()
+		}
+		switch *memoFlag {
+		case "both":
+			return bench.E20Table(bench.RunE20(8, 200000, 4, elapsed))
+		case "on":
+			return bench.E20Table([]bench.E20Row{bench.RunE20Mode("memoized", 8, 200000, 4, elapsed)})
+		case "off":
+			return bench.E20Table([]bench.E20Row{bench.RunE20Mode("recompute", 8, 200000, 4, elapsed)})
+		default:
+			fmt.Fprintln(os.Stderr, `-memo must be "both", "on", or "off"`)
+			os.Exit(2)
+			return nil
+		}
+	}},
 	"a1": {"ablation: topological vs naive propagation", func() *bench.Table {
 		return bench.A1Table(bench.RunA1([]int{2, 4, 6, 8, 10, 12}))
 	}},
@@ -113,8 +132,12 @@ var experiments = map[string]struct {
 // (c1); 0 selects the inline updater.
 var workersFlag = flag.Int("workers", 2, "updater worker pool size for c1 (0 = inline)")
 
+// memoFlag is the e20 memoization ablation: run both modes, or only the
+// memoized / recompute-per-access read path.
+var memoFlag = flag.String("memo", "both", `e20 read-path ablation: "both", "on", or "off"`)
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e19, a1, c1, f2, all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e20, a1, c1, f2, all)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 

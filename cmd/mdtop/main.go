@@ -90,6 +90,8 @@ func main() {
 	fmt.Printf("degraded ops: timeouts=%d lateResults=%d trips=%d recoveries=%d shedTicks=%d queueHighWater=%d\n",
 		st.Timeouts, st.LateResults, st.BreakerTrips, st.BreakerRecoveries,
 		st.ShedTicks, st.QueueHighWater)
+	fmt.Printf("read path: memoHits=%d memoMisses=%d memoHitRate=%.3f coalescedReads=%d\n",
+		st.MemoHits, st.MemoMisses, st.MemoHitRate(), st.CoalescedReads)
 }
 
 func must(err error) {

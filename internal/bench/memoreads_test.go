@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE20MemoizedVsRecompute(t *testing.T) {
+	elapsed := func(fn func()) int64 { fn(); return 1 }
+	rows := RunE20(4, 500, 3, elapsed)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	recompute, memoized := rows[0], rows[1]
+	if recompute.Mode != "recompute" || memoized.Mode != "memoized" {
+		t.Fatalf("modes = %q, %q", recompute.Mode, memoized.Mode)
+	}
+	// Recompute-per-access: every read computes.
+	if recompute.ComputesPerKiloRead != 1000 {
+		t.Fatalf("recompute computes/1k = %v, want 1000", recompute.ComputesPerKiloRead)
+	}
+	if recompute.MemoHitRate != 0 {
+		t.Fatalf("recompute memo hit rate = %v, want 0", recompute.MemoHitRate)
+	}
+	// Memoized steady state: the warm-up read stamped the memo, so the
+	// timed reads compute nothing and hit every time.
+	if memoized.ComputesPerKiloRead != 0 {
+		t.Fatalf("memoized computes/1k = %v, want 0", memoized.ComputesPerKiloRead)
+	}
+	if memoized.MemoHitRate != 1 {
+		t.Fatalf("memoized memo hit rate = %v, want 1", memoized.MemoHitRate)
+	}
+
+	var b strings.Builder
+	E20Table(rows).Fprint(&b)
+	for _, want := range []string{"memoized", "recompute", "E20"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, b.String())
+		}
+	}
+}

@@ -46,6 +46,20 @@ type Definition struct {
 	// it requires an asynchronous updater to take effect (see
 	// WithComputeDeadline).
 	ComputeDeadline clock.Duration
+
+	// Pure declares that the item's compute is a function of its
+	// declared dependencies alone: it reads no clock, no captured
+	// mutable state, and no external inputs, so recomputing it against
+	// unchanged dependency values always yields the same result. On
+	// envs with WithMemoizedOnDemand, a pure on-demand item serves
+	// repeat reads from a dependency-stamped memo instead of
+	// recomputing (see the option's doc for the exactness argument).
+	// Without the option — or for items that do consult now/external
+	// state and must leave this false — behaviour is unchanged:
+	// recompute per access. A value change that happens despite the
+	// declaration (i.e. a purity violation) can still be announced with
+	// Registry.NotifyChanged, which invalidates dependent memos.
+	Pure bool
 }
 
 // ResolveContext lets a dynamic Resolve hook inspect the inclusion

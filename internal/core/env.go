@@ -34,6 +34,19 @@ type Env struct {
 	// propagation.
 	seq atomic.Int64
 
+	// writeEpoch counts structural mutations env-wide: every
+	// subscribe/unsubscribe/redefine (any bumpStruct) advances it.
+	// Memoized on-demand reads stamp the epoch at compute time and treat
+	// any advance as an invalidation — a cheap, conservative guard that
+	// lets the lock-free read path notice structural change without
+	// touching component locks (see handler.go).
+	writeEpoch atomic.Uint64
+
+	// memoOnDemand enables dependency-stamped memoization for on-demand
+	// handlers whose Definition declares Pure. Off by default: the
+	// paper's on-demand contract is recompute-per-access.
+	memoOnDemand bool
+
 	// compSeq numbers dependency-scope components; ids define the
 	// cross-component lock-acquisition order.
 	compSeq atomic.Int64
@@ -100,6 +113,21 @@ func WithNaivePropagation() EnvOption {
 // per instant instead of once.
 func WithPerHandlerTicks() EnvOption {
 	return func(e *Env) { e.perHandlerTicks = true }
+}
+
+// WithMemoizedOnDemand enables the versioned read path for on-demand
+// items declared Pure: such an item caches its latest (value, error)
+// together with the publication versions of its dependencies and the
+// env write epoch, and a read that finds every stamp unchanged returns
+// the cached pair with no mutex and no compute — exactly the value a
+// recompute would produce, because a pure compute is a function of its
+// dependencies alone. Reads that find a stamp changed recompute, and
+// concurrent readers of the same miss coalesce behind a single compute
+// (singleflight). Items not declared Pure — and every item when this
+// option is off — keep the paper's recompute-per-access behaviour
+// bit-for-bit.
+func WithMemoizedOnDemand() EnvOption {
+	return func(e *Env) { e.memoOnDemand = true }
 }
 
 // WithComputeDeadline bounds every metadata computation of the graph

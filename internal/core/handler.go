@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/clock"
 )
@@ -129,11 +130,26 @@ func (h *staticHandler) stop()                 {}
 // ComputeFunc computes a metadata value at the given time.
 type ComputeFunc func(now clock.Time) (Value, error)
 
-// onDemandHandler recomputes the value on every access.
+// onDemandHandler recomputes the value on every access — unless the
+// item is declared Pure on an env with WithMemoizedOnDemand, in which
+// case repeat reads are served from a dependency-stamped memo and
+// misses coalesce behind a single compute (see memo.go).
 type onDemandHandler struct {
 	compute ComputeFunc
 	mu      sync.Mutex
 	e       *entry
+
+	// mstate is the memoized read-path state, published at start when
+	// memoization engages (env option + Pure + stampable deps) and nil
+	// otherwise. Non-nil mstate routes Value() through the versioned
+	// read path; nil keeps the paper's recompute-per-access behaviour
+	// untouched.
+	mstate atomic.Pointer[memoState]
+	// memo is the current dependency-stamped snapshot; nil before the
+	// first memoized compute, after a breaker trip, and after stop.
+	memo atomic.Pointer[memoSnapshot]
+	// flight is the in-flight coalesced compute, guarded by mu.
+	flight *memoFlight
 
 	// deadline bounds each compute (0 = unbounded), resolved from the
 	// definition/env at start. A deadline wait needs the clock to keep
@@ -156,6 +172,25 @@ func NewOnDemand(compute ComputeFunc) Handler {
 }
 
 func (h *onDemandHandler) Value() (Value, error) {
+	ms := h.mstate.Load()
+	if ms == nil {
+		return h.valueVolatile()
+	}
+	// Memoized fast path: a hit is two atomic pointer loads plus the
+	// stamp walk — no mutex, no compute, no allocation. The atomic
+	// memo load orders the snapshot's fields before this read.
+	if m := h.memo.Load(); m != nil && ms.memoValid(m) {
+		ms.env.stats.MemoHits.Add(1)
+		return m.val, m.err
+	}
+	return h.valueMiss(ms)
+}
+
+// valueVolatile is the paper's on-demand read: recompute per access
+// under the handler mutex. It is the only path when memoization is not
+// engaged and is kept byte-for-byte as before the versioned read path
+// existed.
+func (h *onDemandHandler) valueVolatile() (Value, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.e == nil {
@@ -196,6 +231,117 @@ func (h *onDemandHandler) Value() (Value, error) {
 	return v, err
 }
 
+// valueMiss is the memoized slow path: revalidate under the mutex,
+// coalesce onto an in-flight compute when one exists, else lead one
+// compute outside the mutex and publish the stamped result.
+func (h *onDemandHandler) valueMiss(ms *memoState) (Value, error) {
+	env := ms.env
+	stats := env.Stats()
+	h.mu.Lock()
+	if h.e == nil {
+		h.mu.Unlock()
+		return nil, ErrUnsubscribed
+	}
+	// Double-check under the mutex: a leader that beat us here may have
+	// published a valid memo while we blocked on the lock.
+	if m := h.memo.Load(); m != nil && ms.memoValid(m) {
+		h.mu.Unlock()
+		stats.MemoHits.Add(1)
+		return m.val, m.err
+	}
+	if h.health.isQuarantined() {
+		// Same containment as the volatile path: serve last-good tagged
+		// stale, recovery goes through the armed probe.
+		v, serr := h.lastGood, h.health.staleError()
+		h.mu.Unlock()
+		return v, serr
+	}
+	if f := h.flight; f != nil {
+		// Coalesce: another reader is computing this miss. Wait off the
+		// mutex so the leader can publish.
+		h.mu.Unlock()
+		stats.CoalescedReads.Add(1)
+		<-f.done
+		return f.val, f.err
+	}
+	f := &memoFlight{done: make(chan struct{})}
+	h.flight = f
+	stats.MemoMisses.Add(1)
+	stats.ComputeCalls.Add(1)
+	stats.OnDemandComputes.Add(1)
+	deadline := h.deadline
+	h.mu.Unlock()
+
+	// Warm memoized dependencies whose memo is not current before
+	// capturing stamps: a cold dependency bumps its version when its
+	// first read publishes its memo, and a stamp captured before that
+	// bump would be immediately stale — costing one spurious miss per
+	// chain level per read until convergence. Warming first lets a
+	// dependency chain of any depth converge in a single read. No lock is
+	// held here, so recursing into dependency read paths cannot deadlock.
+	for _, od := range ms.depMemo {
+		if od != nil && !od.memoCurrent() {
+			od.Value()
+		}
+	}
+	// Stamps are captured BEFORE the compute reads its inputs — the
+	// order the exactness argument in memo.go depends on. They are
+	// atomic loads and need no mutex.
+	epoch, depVers := ms.captureStamps()
+
+	// The compute runs outside the handler mutex: hits and coalescing
+	// waiters never queue behind user code. Panics are recovered inside
+	// safeCompute/boundedCompute, so the flight is always delivered.
+	now := env.Now()
+	var v Value
+	var err error
+	if deadline > 0 {
+		v, err = boundedCompute(env.clk, deadline, stats, h.compute, now)
+	} else {
+		v, err = safeCompute(h.compute, now)
+	}
+
+	h.mu.Lock()
+	h.flight = nil
+	stopped := h.e == nil
+	if err == nil || !breakerEligible(err) {
+		h.health.onSuccess()
+		if err == nil && h.health != nil {
+			h.lastGood = v
+		}
+		if !stopped {
+			// Publish the memo, then bump the version (publication
+			// order: a dependent observing the new version sees this
+			// memo or a newer one). Pure compute errors are memoized
+			// like values — recomputing would fail identically.
+			h.memo.Store(&memoSnapshot{val: v, err: err, epoch: epoch, depVers: depVers})
+			h.e.version.Add(1)
+		}
+		h.mu.Unlock()
+		f.deliver(v, err)
+		return v, err
+	}
+	if h.health.onFailure(now, err) {
+		// Tripped: drop the memo — quarantined reads serve last-good
+		// through the slow path — and bump the version so dependent
+		// memos stamped over this item revalidate.
+		h.memo.Store(nil)
+		if !stopped {
+			h.e.version.Add(1)
+		}
+		v, serr := h.lastGood, h.health.staleError()
+		h.mu.Unlock()
+		f.deliver(v, serr)
+		return v, serr
+	}
+	// Breaker-eligible failure below the trip threshold: delivered to
+	// every waiter but never memoized — panics and timeouts are
+	// transient containment outcomes, not values of the pure function.
+	h.mu.Unlock()
+	f.deliver(v, err)
+	return v, err
+}
+
 // runProbe implements quarantineOwner: one recompute on the updater; a
 // success closes the breaker (dependents recompute lazily on their
 // next access) and notifies triggered dependents that the item is live
@@ -221,6 +367,11 @@ func (h *onDemandHandler) runProbe(now clock.Time) {
 	}
 	h.health.closeBreaker()
 	e := h.e
+	// The item is live again and may serve fresh computes where it
+	// served stale; bump so dependent memos stamped over it revalidate.
+	// The memo itself stays nil (dropped at the trip) — the next read
+	// recomputes with fresh stamps.
+	e.version.Add(1)
 	h.mu.Unlock()
 	if e.ndeps.Load() > 0 {
 		sc := env.lockScope(e.reg)
@@ -240,12 +391,20 @@ func (h *onDemandHandler) start(e *entry) error {
 	h.e = e
 	h.deadline = e.reg.env.deadlineFor(e.def)
 	h.health = newItemHealth(e.reg.env, h)
+	// Engage memoization last: publishing mstate is what routes reads
+	// onto the versioned path, and the atomic store orders the fields
+	// set above before any lock-free reader can observe them.
+	if ms := newMemoState(e, h.health); ms != nil {
+		h.mstate.Store(ms)
+	}
 	return nil
 }
 
 func (h *onDemandHandler) stop() {
 	h.mu.Lock()
 	h.e = nil
+	h.mstate.Store(nil)
+	h.memo.Store(nil)
 	h.mu.Unlock()
 	h.health.stop()
 }

@@ -1,0 +1,171 @@
+package core
+
+// Versioned read path for on-demand metadata (WithMemoizedOnDemand).
+//
+// The paper's on-demand mechanism recomputes on every access — exact,
+// but a popular item is recomputed redundantly by every reader, and the
+// handler mutex serializes them. For items whose compute is a pure
+// function of their declared dependencies (Definition.Pure), the exact
+// value can be served without recomputing as long as no dependency has
+// republished: the handler caches (value, err) together with a stamp —
+// the env write epoch plus the publication version of every dependency,
+// captured BEFORE the compute ran — and a read that finds every stamp
+// component unchanged returns the cache with zero mutexes and zero
+// compute.
+//
+// Exactness argument. Versions are bumped after the new snapshot is
+// stored, and stamps are captured before the compute reads its inputs.
+// So if a dependency's version still equals the stamp at read time, the
+// dependency has not republished since before the compute started,
+// which means the compute read exactly the values a recompute would
+// read now — and a pure compute of equal inputs gives an equal result.
+// If a dependency republished between stamp capture and the compute's
+// input reads, the stamp is already stale and the memo simply never
+// revalidates (versions are monotonic and never reused); the next read
+// recomputes with fresh stamps. The memo can serve stale hits never,
+// spurious misses at worst.
+//
+// Stampability. A dependency is stampable when its served value cannot
+// change without a version bump: static (never changes), periodic and
+// triggered (every publish bumps), and memoized on-demand handlers
+// (every recompute bumps; their own memo validity is checked
+// recursively, because their version only moves when they actually
+// recompute). A volatile — or pure but unmemoized — on-demand
+// dependency is NOT stampable: it recomputes on access without any
+// publication, so a stamp over it proves nothing. An item with such a
+// dependency (or any unknown handler type) keeps recompute-per-access
+// even when declared Pure.
+//
+// Misses coalesce (singleflight): the first reader through the handler
+// mutex becomes the leader and computes outside the mutex; concurrent
+// readers find the in-flight marker and wait on its done channel, so N
+// readers of one miss cost one compute (OnDemandComputes +1,
+// CoalescedReads +N-1). The leader composes with the PR 4 containment
+// layer unchanged — boundedCompute's generation fence, breaker
+// bookkeeping, quarantined items serving last-good + ErrStale — and a
+// coalesced error is delivered to every waiter but counted once.
+
+// memoSnapshot is one memoized (value, error) with the stamp it was
+// computed under. Immutable once published.
+type memoSnapshot struct {
+	val Value
+	err error
+	// epoch is the env write epoch at stamp capture; any structural
+	// change (subscribe/unsubscribe/redefine) invalidates the memo.
+	epoch uint64
+	// depVers are the dependencies' publication versions at stamp
+	// capture, in memoState.deps order.
+	depVers []uint64
+}
+
+// memoState is the immutable read-path state of a memoized on-demand
+// handler, published through an atomic pointer at start so the
+// lock-free fast path can reach env, deps, and breaker without touching
+// the handler mutex. nil while memoization is not engaged.
+type memoState struct {
+	env    *Env
+	health *itemHealth
+	// deps is the flattened declared dependency list (every entry of
+	// every dep group, inclusion order). Dependencies outlive the
+	// handler's inclusion — each holds a reference taken at include
+	// time — so the entry pointers stay valid for the handler's life.
+	deps []*entry
+	// depMemo is parallel to deps: non-nil where the dependency is
+	// itself a memoized on-demand handler, whose memo validity must be
+	// checked recursively on revalidation.
+	depMemo []*onDemandHandler
+}
+
+// newMemoState decides memo engagement for a starting handler and
+// builds its read-path state, or returns nil to keep
+// recompute-per-access. Called under the component lock (depGroups are
+// stable) and after every dependency's handler has started (depth-first
+// inclusion), so dependency engagement is already decided.
+func newMemoState(e *entry, health *itemHealth) *memoState {
+	env := e.reg.env
+	if !env.memoOnDemand || e.def == nil || !e.def.Pure {
+		return nil
+	}
+	ms := &memoState{env: env, health: health}
+	for _, g := range e.depGroups {
+		for _, de := range g {
+			switch dep := de.getHandler().(type) {
+			case *staticHandler, *periodicHandler, *triggeredHandler:
+				ms.depMemo = append(ms.depMemo, nil)
+			case *onDemandHandler:
+				if dep.mstate.Load() == nil {
+					return nil
+				}
+				ms.depMemo = append(ms.depMemo, dep)
+			default:
+				return nil
+			}
+			ms.deps = append(ms.deps, de)
+		}
+	}
+	return ms
+}
+
+// memoValid reports whether m may be served. Lock-free; called on every
+// read of a memoized item.
+func (ms *memoState) memoValid(m *memoSnapshot) bool {
+	if ms.health.isQuarantined() {
+		return false
+	}
+	if m.epoch != ms.env.writeEpoch.Load() {
+		return false
+	}
+	for i, de := range ms.deps {
+		if de.version.Load() != m.depVers[i] {
+			return false
+		}
+		if od := ms.depMemo[i]; od != nil && !od.memoCurrent() {
+			return false
+		}
+	}
+	return true
+}
+
+// memoCurrent reports whether h currently holds a servable memo; used
+// for the recursive dependency check. A memoized dependency whose memo
+// is invalid may serve a different value on its next read without
+// bumping its version first, so a parent stamp over it only holds
+// while the dependency's own memo holds.
+func (h *onDemandHandler) memoCurrent() bool {
+	ms := h.mstate.Load()
+	if ms == nil {
+		return false
+	}
+	m := h.memo.Load()
+	return m != nil && ms.memoValid(m)
+}
+
+// captureStamps reads the write epoch and every dependency version.
+// Must be called before the compute runs (see the exactness argument
+// above).
+func (ms *memoState) captureStamps() (epoch uint64, depVers []uint64) {
+	epoch = ms.env.writeEpoch.Load()
+	if len(ms.deps) > 0 {
+		depVers = make([]uint64, len(ms.deps))
+		for i, de := range ms.deps {
+			depVers[i] = de.version.Load()
+		}
+	}
+	return epoch, depVers
+}
+
+// memoFlight is one in-flight coalesced compute: the leader publishes
+// the result into val/err and closes done; waiters block on done and
+// read the result (the channel close orders the writes before the
+// reads).
+type memoFlight struct {
+	done chan struct{}
+	val  Value
+	err  error
+}
+
+// deliver publishes the result to every waiter.
+func (f *memoFlight) deliver(v Value, err error) {
+	f.val, f.err = v, err
+	close(f.done)
+}

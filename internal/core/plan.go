@@ -52,9 +52,14 @@ func (c *component) bumpStructLocked() {
 }
 
 // bumpStruct invalidates the plans of the component covering r. The
-// component's structural lock must be held.
+// component's structural lock must be held. It also advances the env
+// write epoch, which invalidates every memoized on-demand value in the
+// env: memo stamps must never survive a structural change (an
+// unsubscribe could otherwise leave a memo revalidating against a dead
+// dependency entry).
 func bumpStruct(r *Registry) {
 	find(r.comp).bumpStructLocked()
+	r.env.writeEpoch.Add(1)
 }
 
 // planFor returns the ordered affected-entry slice for seeds,

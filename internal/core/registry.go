@@ -68,6 +68,19 @@ type entry struct {
 	// 4.3: only the locks involved in the currently included items
 	// are used).
 	ndeps atomic.Int32
+
+	// version counts the item's publications: every periodic window
+	// publish, triggered refresh, probe republish, quarantine trip, and
+	// memoized on-demand recompute bumps it (after the new snapshot is
+	// stored, so a reader observing version v sees the v-th value or a
+	// newer one). NotifyChanged bumps it too, as the declared escape
+	// hatch for items whose value changed outside the framework.
+	// Memoized on-demand handlers stamp their dependencies' versions at
+	// compute time; an unchanged stamp proves the dependency's served
+	// value is unchanged, which is what makes the lock-free memo hit
+	// exact (see handler.go). Monotonic and never reused, so a stale
+	// stamp can never revalidate.
+	version atomic.Uint64
 }
 
 // getHandler returns the entry's handler, or nil once removed. It is
@@ -626,6 +639,15 @@ func (r *Registry) NotifyChanged(kind Kind) {
 	if !ok {
 		return
 	}
+	// The announced change is invisible to publication versions (the
+	// handler did not publish), so invalidate explicitly: drop the item's
+	// own memo (its stamps cover dependencies, not the announced change)
+	// and bump the version so memoized dependents revalidate just like
+	// triggered dependents refresh.
+	if od, ok := e.getHandler().(*onDemandHandler); ok {
+		od.memo.Store(nil)
+	}
+	e.version.Add(1)
 	r.propagateLocked(e, r.env.Now())
 }
 

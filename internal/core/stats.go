@@ -16,10 +16,11 @@ type Stats struct {
 	// existing handler (Section 2.1's sharing).
 	SharedSubscriptions atomic.Int64
 	// ComputeCalls counts metadata value computations, across all
-	// mechanisms.
-	ComputeCalls atomic.Int64
+	// mechanisms. Sharded: it sits on the on-demand read path.
+	ComputeCalls ShardedCounter
 	// OnDemandComputes counts computations by on-demand handlers.
-	OnDemandComputes atomic.Int64
+	// Sharded: it sits on the on-demand read path.
+	OnDemandComputes ShardedCounter
 	// PeriodicUpdates counts window-boundary updates by periodic
 	// handlers.
 	PeriodicUpdates atomic.Int64
@@ -66,12 +67,31 @@ type Stats struct {
 	QueueDepth atomic.Int64
 	// QueueHighWater is the maximum QueueDepth observed.
 	QueueHighWater atomic.Int64
+	// MemoHits counts on-demand reads served from a dependency-stamped
+	// memo without recomputing (WithMemoizedOnDemand + Definition.Pure).
+	// Sharded: it is the memoized read hot path.
+	MemoHits ShardedCounter
+	// MemoMisses counts memoized on-demand reads that had to recompute:
+	// first read, a dependency published a new version, a structural
+	// change bumped the write epoch, or the item was quarantined.
+	MemoMisses atomic.Int64
+	// CoalescedReads counts on-demand reads that waited on another
+	// reader's in-flight compute instead of computing themselves
+	// (singleflight). The leader's compute is counted once in
+	// OnDemandComputes regardless of how many readers it served.
+	CoalescedReads atomic.Int64
 }
 
-// noteQueueDepth records a new queue depth, maintaining the high-water
-// mark. Called by bounded updaters on every enqueue.
-func (s *Stats) noteQueueDepth(depth int64) {
-	s.QueueDepth.Store(depth)
+// noteQueueDelta adjusts the updater queue-depth gauge by delta (+1 per
+// enqueue, -1 per dequeue) and maintains the high-water mark. Tracking
+// the gauge with deltas instead of absolute Store calls keeps it
+// consistent under concurrency: with Store, an enqueue publishing depth
+// n can be overwritten by a racing dequeue publishing the older n-1,
+// leaving the gauge (and a high-water read between the two) regressed.
+// An Add-based gauge always converges to the true depth regardless of
+// interleaving.
+func (s *Stats) noteQueueDelta(delta int64) {
+	depth := s.QueueDepth.Add(delta)
 	for {
 		hw := s.QueueHighWater.Load()
 		if depth <= hw || s.QueueHighWater.CompareAndSwap(hw, depth) {
@@ -103,6 +123,9 @@ type Snapshot struct {
 	ShedTicks            int64
 	QueueDepth           int64
 	QueueHighWater       int64
+	MemoHits             int64
+	MemoMisses           int64
+	CoalescedReads       int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -129,6 +152,9 @@ func (s *Stats) Snapshot() Snapshot {
 		ShedTicks:            s.ShedTicks.Load(),
 		QueueDepth:           s.QueueDepth.Load(),
 		QueueHighWater:       s.QueueHighWater.Load(),
+		MemoHits:             s.MemoHits.Load(),
+		MemoMisses:           s.MemoMisses.Load(),
+		CoalescedReads:       s.CoalescedReads.Load(),
 	}
 }
 
@@ -159,6 +185,9 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		// newer snapshot's values rather than differencing.
 		QueueDepth:     s.QueueDepth,
 		QueueHighWater: s.QueueHighWater,
+		MemoHits:       s.MemoHits - t.MemoHits,
+		MemoMisses:     s.MemoMisses - t.MemoMisses,
+		CoalescedReads: s.CoalescedReads - t.CoalescedReads,
 	}
 }
 
@@ -179,6 +208,17 @@ func (s Snapshot) PlanHitRate() float64 {
 		return 0
 	}
 	return float64(s.PlanCacheHits) / float64(total)
+}
+
+// MemoHitRate returns the fraction of memoized on-demand reads served
+// from the stamped memo without recomputing, or 0 when no memoized
+// reads ran.
+func (s Snapshot) MemoHitRate() float64 {
+	total := s.MemoHits + s.MemoMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MemoHits) / float64(total)
 }
 
 // UpdateWork returns the total number of maintenance operations in the

@@ -71,6 +71,7 @@ func (h *triggeredHandler) start(e *entry) error {
 	v, err := safeCompute(h.compute, e.reg.env.Now())
 	snap := h.snaps.put(v, err)
 	h.cur.Store(snap)
+	e.version.Add(1)
 	if err == nil {
 		h.lastGood = snap
 	}
@@ -113,6 +114,7 @@ func (h *triggeredHandler) refresh(now clock.Time) error {
 		h.health.onSuccess()
 		snap := h.snaps.put(v, err)
 		h.cur.Store(snap)
+		h.e.version.Add(1)
 		if err == nil && h.health != nil {
 			// lastGood is only ever served while quarantined, so the
 			// breaker-less hot path skips the pointer store (and its
@@ -131,9 +133,11 @@ func (h *triggeredHandler) refresh(now clock.Time) error {
 			lastVal = h.lastGood.val
 		}
 		h.cur.Store(h.snaps.put(lastVal, h.health.staleError()))
+		h.e.version.Add(1)
 		return err
 	}
 	h.cur.Store(h.snaps.put(v, err))
+	h.e.version.Add(1)
 	return err
 }
 
@@ -158,6 +162,7 @@ func (h *triggeredHandler) runProbe(now clock.Time) {
 	stats.TriggeredUpdates.Add(1)
 	snap := h.snaps.put(v, err)
 	h.cur.Store(snap)
+	h.e.version.Add(1)
 	if err == nil {
 		h.lastGood = snap
 	}

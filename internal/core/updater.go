@@ -145,7 +145,7 @@ func (u *poolUpdater) work() {
 			t.key = nil
 		}
 		if u.stats != nil {
-			u.stats.noteQueueDepth(int64(u.queue.Len()))
+			u.stats.noteQueueDelta(-1)
 		}
 		u.mu.Unlock()
 		t.fn()
@@ -213,7 +213,7 @@ func (u *poolUpdater) enqueueLocked(t *poolTask) {
 	u.pending.Add(1)
 	u.queue.Push(t)
 	if u.stats != nil {
-		u.stats.noteQueueDepth(int64(u.queue.Len()))
+		u.stats.noteQueueDelta(1)
 	}
 }
 

@@ -13,9 +13,14 @@ func TestFloatConversions(t *testing.T) {
 		{float64(1.5), 1.5},
 		{float32(2), 2},
 		{int(3), 3},
+		{int8(-8), -8},
+		{int16(-300), -300},
 		{int32(4), 4},
 		{int64(5), 5},
 		{uint(6), 6},
+		{uint8(200), 200},
+		{uint16(60000), 60000},
+		{uint32(4000000000), 4000000000},
 		{uint64(7), 7},
 	}
 	for _, c := range cases {
@@ -56,15 +61,35 @@ func TestStatsSnapshotSub(t *testing.T) {
 	s.PeriodicUpdates.Add(3)
 	s.OnDemandComputes.Add(2)
 	s.TriggeredUpdates.Add(1)
+	s.MemoHits.Add(6)
+	s.MemoMisses.Add(2)
+	s.CoalescedReads.Add(1)
 	a := s.Snapshot()
 	s.HandlersCreated.Add(1)
 	s.PeriodicUpdates.Add(4)
+	s.MemoHits.Add(9)
+	s.MemoMisses.Add(1)
+	s.CoalescedReads.Add(3)
 	b := s.Snapshot()
 	d := b.Sub(a)
 	if d.HandlersCreated != 1 || d.PeriodicUpdates != 4 {
 		t.Fatalf("Sub = %+v", d)
 	}
+	if d.MemoHits != 9 || d.MemoMisses != 1 || d.CoalescedReads != 3 {
+		t.Fatalf("memo counters Sub = hits %d misses %d coalesced %d, want 9/1/3",
+			d.MemoHits, d.MemoMisses, d.CoalescedReads)
+	}
 	if got := b.UpdateWork(); got != 3+4+2+1 {
 		t.Fatalf("UpdateWork = %d, want 10", got)
+	}
+}
+
+func TestMemoHitRate(t *testing.T) {
+	if got := (Snapshot{}).MemoHitRate(); got != 0 {
+		t.Fatalf("MemoHitRate with no reads = %v, want 0", got)
+	}
+	s := Snapshot{MemoHits: 3, MemoMisses: 1}
+	if got := s.MemoHitRate(); got != 0.75 {
+		t.Fatalf("MemoHitRate = %v, want 0.75", got)
 	}
 }

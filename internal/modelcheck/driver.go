@@ -62,13 +62,27 @@ func RunSequential(t *testing.T, seed int64) {
 	runLockstep(t, fmt.Sprintf("seed=%d", seed), wl)
 }
 
+// RunSequentialMemo is RunSequential over a memo-enabled env
+// (core.WithMemoizedOnDemand): the identical workload — mixing pure,
+// volatile, and pure-over-volatile on-demand items — must stay exactly
+// value- and error-equivalent to the model while pure reads are served
+// from the versioned cache. The model has no memo concept, so any
+// stale memo hit shows up as a value divergence at the op where it
+// happened.
+func RunSequentialMemo(t *testing.T, seed int64) {
+	t.Helper()
+	wl := Generate(seed, Config{Ops: 80})
+	runLockstep(t, fmt.Sprintf("seed=%d(memo)", seed), wl, core.WithMemoizedOnDemand())
+}
+
 // runLockstep executes a workload's op script against the real system
 // (inline updater) and the model in lockstep, comparing after every
 // op. It is shared by the seeded sequential driver and the hand-built
-// coalescing workloads.
-func runLockstep(t *testing.T, label string, wl *Workload) {
+// coalescing workloads. extra env options (e.g. WithMemoizedOnDemand)
+// are forwarded to NewSystem.
+func runLockstep(t *testing.T, label string, wl *Workload, extra ...core.EnvOption) {
 	t.Helper()
-	sys := NewSystem(wl, nil, nil)
+	sys := NewSystem(wl, nil, nil, extra...)
 	model := NewModel(wl)
 	var subs []heldSub
 
@@ -277,12 +291,12 @@ func checkWindowLogs(t *testing.T, at string, sys *System, skip map[ikey]bool) {
 // regardless of interleaving. Values of periodic and triggered items
 // are schedule-dependent and are checked for integrity (tiling,
 // readability), not for exact equality.
-func RunConcurrent(t *testing.T, seed int64, workers int) {
+func RunConcurrent(t *testing.T, seed int64, workers int, extra ...core.EnvOption) {
 	t.Helper()
 	wl := Generate(seed, Config{Ops: 40 * workers, Concurrent: true})
 	u := core.NewPoolUpdater(workers)
 	defer u.Stop()
-	sys := NewSystem(wl, u, nil)
+	sys := NewSystem(wl, u, nil, extra...)
 
 	// Partition the script: clock advances all go to worker 0 (the
 	// virtual clock forbids re-entrant advancement), the rest round-

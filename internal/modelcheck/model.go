@@ -256,6 +256,12 @@ func (m *Model) Value(ri int, kind core.Kind) (float64, bool) {
 // on-demand items (which compute on every access).
 func (m *Model) value(it *mItem) float64 {
 	if it.spec.Mech == core.OnDemandMechanism {
+		if it.spec.Pure {
+			// Pure on-demand: no access-time term. Whether the real
+			// system recomputes or serves its memo, the value is the
+			// same — that is the exactness property under test.
+			return it.spec.Base + m.sumDeps(it)
+		}
 		return it.spec.Base + m.sumDeps(it) + 0.001*float64(m.now)
 	}
 	return it.val

@@ -20,6 +20,23 @@ func TestSequentialEquivalence(t *testing.T) {
 	}
 }
 
+// TestSequentialEquivalenceMemoized re-runs the lockstep driver with
+// core.WithMemoizedOnDemand enabled: pure on-demand items are served
+// from the versioned memo, volatile ones keep recomputing, and every
+// observable — values, error classes, structure, refresh counts — must
+// stay exactly equal to the memo-unaware reference model. Reproduce one
+// failing workload with:
+//
+//	go test ./internal/modelcheck -run 'TestSequentialEquivalenceMemoized/seed=42$'
+func TestSequentialEquivalenceMemoized(t *testing.T) {
+	for seed := int64(1); seed <= 120; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunSequentialMemo(t, seed)
+		})
+	}
+}
+
 // TestGenerateDeterministic guards replayability: the same seed must
 // produce the identical workload.
 func TestGenerateDeterministic(t *testing.T) {

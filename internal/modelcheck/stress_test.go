@@ -3,6 +3,8 @@ package modelcheck
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // TestConcurrentStress applies seeded workloads from four goroutines
@@ -18,6 +20,21 @@ func TestConcurrentStress(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
 			RunConcurrent(t, seed, 4)
+		})
+	}
+}
+
+// TestConcurrentStressMemoized is TestConcurrentStress with the
+// versioned read path enabled: concurrent readers race memo
+// publication, revalidation, singleflight coalescing, and invalidation
+// against subscribes, unsubscribes, clock advances, and notifications.
+// Run with -race; quiescent-state equivalence and the structural
+// invariants must hold exactly as without memoization.
+func TestConcurrentStressMemoized(t *testing.T) {
+	for seed := int64(1); seed <= 48; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunConcurrent(t, seed, 4, core.WithMemoizedOnDemand())
 		})
 	}
 }

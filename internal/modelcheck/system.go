@@ -234,10 +234,16 @@ func NewSystem(wl *Workload, updater core.Updater, faults *Faults, extra ...core
 // compute functions implement the deterministic value semantics shared
 // with the model:
 //
-//	static:    Base
-//	on-demand: Base + Σ dep values + 0.001·now        (at access time)
-//	periodic:  start·1e6 + end                        (encodes the window)
-//	triggered: Base + Σ dep values + 0.01·now         (at refresh time)
+//	static:          Base
+//	on-demand:       Base + Σ dep values + 0.001·now  (at access time)
+//	on-demand, pure: Base + Σ dep values              (no access-time term)
+//	periodic:        start·1e6 + end                  (encodes the window)
+//	triggered:       Base + Σ dep values + 0.01·now   (at refresh time)
+//
+// Pure on-demand items carry Definition.Pure, so a memo-enabled env
+// (core.WithMemoizedOnDemand) may serve them from cache; their value
+// depends only on the dependency values, so memoization is invisible in
+// the value domain and the model needs no memo awareness.
 //
 // Periodic values encode their exact window boundaries, so value
 // equivalence against the model verifies the window sequence itself.
@@ -251,6 +257,7 @@ func (s *System) definition(ri int, it ItemSpec) *core.Definition {
 		Kind:   it.Kind,
 		Deps:   deps,
 		Events: it.Events,
+		Pure:   it.Pure,
 		Build: func(ctx *core.BuildContext) (core.Handler, error) {
 			if s.faults.panicBuild(k) {
 				panic(fmt.Sprintf("injected: build %v", k))
@@ -262,6 +269,15 @@ func (s *System) definition(ri int, it ItemSpec) *core.Definition {
 			case core.StaticMechanism:
 				return core.NewStatic(it.Base), nil
 			case core.OnDemandMechanism:
+				if it.Pure {
+					return core.NewOnDemand(func(clock.Time) (core.Value, error) {
+						v, err := sumDeps(ctx)
+						if err != nil {
+							return nil, err
+						}
+						return it.Base + v, nil
+					}), nil
+				}
 				return core.NewOnDemand(func(now clock.Time) (core.Value, error) {
 					v, err := sumDeps(ctx)
 					if err != nil {

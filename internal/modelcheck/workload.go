@@ -47,6 +47,12 @@ type ItemSpec struct {
 	Deps   []DepSpec
 	Events []string
 	Base   float64
+	// Pure marks an on-demand item whose compute omits the access-time
+	// term: its value is a function of the declared dependencies alone,
+	// so the real system may memoize it under WithMemoizedOnDemand.
+	// Volatile (non-pure) on-demand items keep the 0.001·now term and
+	// must recompute on every access even with memoization enabled.
+	Pure bool
 }
 
 // RegSpec declares one registry of the workload topology. Module
@@ -203,6 +209,10 @@ func Generate(seed int64, cfg Config) *Workload {
 					it.Mech = core.StaticMechanism
 				case p < 0.45:
 					it.Mech = core.OnDemandMechanism
+					// Half the on-demand items are pure, so memo-enabled
+					// runs mix memoized, volatile, and pure-but-blocked
+					// (pure over a volatile dep) read paths.
+					it.Pure = rng.Float64() < 0.5
 				case p < 0.70:
 					it.Mech = core.PeriodicMechanism
 					it.Window = []clock.Duration{3, 5, 7, 10}[rng.Intn(4)]

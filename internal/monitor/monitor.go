@@ -265,6 +265,18 @@ func (p OverheadProfile) MeanBatchSize() float64 { return p.Window.MeanBatchSize
 // window served from a cached propagation plan.
 func (p OverheadProfile) PlanHitRate() float64 { return p.Window.PlanHitRate() }
 
+// MemoHitRate returns the fraction of memoized on-demand reads in the
+// window served from the versioned memo without recomputing.
+func (p OverheadProfile) MemoHitRate() float64 { return p.Window.MemoHitRate() }
+
+// FormatReadPath renders the window's versioned-read-path counters as a
+// one-line summary: memo hits and misses, the resulting hit rate, and
+// reads coalesced onto another reader's in-flight compute.
+func (p OverheadProfile) FormatReadPath() string {
+	return fmt.Sprintf("memoHits=%d memoMisses=%d memoHitRate=%.3f coalescedReads=%d",
+		p.Window.MemoHits, p.Window.MemoMisses, p.MemoHitRate(), p.Window.CoalescedReads)
+}
+
 // FormatPipeline renders the window's batched-update-pipeline counters
 // as a one-line summary.
 func (p OverheadProfile) FormatPipeline() string {

@@ -201,6 +201,18 @@ func WithComputeDeadline(d Duration) SystemOption {
 	return func(s *System) { s.envOpts = append(s.envOpts, core.WithComputeDeadline(d)) }
 }
 
+// WithMemoizedOnDemand enables the versioned read path: on-demand
+// metadata items whose Definition declares Pure serve repeat reads from
+// a dependency-stamped memo — lock-free and compute-free while no
+// dependency has republished — and concurrent readers of a miss
+// coalesce behind a single compute. Items not declared Pure (anything
+// reading the clock or external state) keep the paper's exact
+// recompute-per-access behaviour, as does every item when this option
+// is off.
+func WithMemoizedOnDemand() SystemOption {
+	return func(s *System) { s.envOpts = append(s.envOpts, core.WithMemoizedOnDemand()) }
+}
+
 // WithBreaker arms a per-item circuit breaker: an item whose compute
 // panics or times out repeatedly is quarantined — unscheduled, serving
 // its last-good value tagged ErrStale — and re-probed on exponential

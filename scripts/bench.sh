@@ -10,13 +10,14 @@
 #
 # The committed before/after numbers for the batched update pipeline
 # live in BENCH_PR3.json; the degraded-mode (breaker/deadline) healthy
-# overhead numbers live in BENCH_PR4.json.
+# overhead numbers live in BENCH_PR4.json; the versioned read path
+# (memoized on-demand) numbers live in BENCH_PR5.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-bench.txt}"
 count="${2:-4}"
 
-benches='BenchmarkValueReadParallel|BenchmarkTriggerPropagation|BenchmarkSubscribeChurnParallel|BenchmarkE4FreshnessOverhead|BenchmarkE5TriggeredVsPeriodic|BenchmarkE9WorkerPool|BenchmarkE19BatchedTicks|BenchmarkHealthyOverhead'
+benches='BenchmarkValueReadParallel|BenchmarkTriggerPropagation|BenchmarkSubscribeChurnParallel|BenchmarkE4FreshnessOverhead|BenchmarkE5TriggeredVsPeriodic|BenchmarkE9WorkerPool|BenchmarkE19BatchedTicks|BenchmarkHealthyOverhead|BenchmarkE20MemoizedReads'
 
 go test -run '^$' -bench "^(${benches})$" -benchmem -count "${count}" . | tee "${out}"
