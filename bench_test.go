@@ -671,6 +671,39 @@ func BenchmarkE20MemoizedReads(b *testing.B) {
 	}
 }
 
+// BenchmarkE21DeltaPropagation measures the fan-in maintenance cost of
+// E21: one DeltaSum aggregate over N dependencies, one edge
+// republishing per iteration. delta=on patches the accumulator with
+// the (old, new) pair in O(1) per fire — ns/op is flat in N and the
+// steady state is allocation-free; delta=off (WithoutDeltaPropagation)
+// re-folds all N dependencies per fire, so ns/op grows linearly.
+func BenchmarkE21DeltaPropagation(b *testing.B) {
+	for _, mode := range []string{"delta=on", "delta=off"} {
+		for _, n := range []int{100, 1000} {
+			b.Run(fmt.Sprintf("%s/N=%d", mode, n), func(b *testing.B) {
+				m := "delta"
+				if mode == "delta=off" {
+					m = "fold"
+				}
+				r, step, sub, _ := bench.E21System(m, n)
+				defer sub.Unsubscribe()
+				*step = 1
+				r.FireEvent("tick")
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					*step = i
+					r.FireEvent("tick")
+				}
+				b.StopTimer()
+				if v, err := sub.Float(); err != nil || v != bench.E21Want(b.N-1, n) {
+					b.Fatalf("agg = %v, %v; want %v", v, err, bench.E21Want(b.N-1, n))
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSubscribeChurnParallel measures subscribe/unsubscribe churn
 // over independent registries from many goroutines (run with
 // -cpu 1,4,8). Each registry is its own dependency-scope component, so

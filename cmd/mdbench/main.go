@@ -110,6 +110,28 @@ var experiments = map[string]struct {
 			return nil
 		}
 	}},
+	"e21": {"incremental delta propagation vs full fold", func() *bench.Table {
+		elapsed := func(fn func()) int64 {
+			start := time.Now()
+			fn()
+			return time.Since(start).Nanoseconds()
+		}
+		var rows []bench.E21Row
+		for _, n := range []int{100, 1000} {
+			switch *deltaFlag {
+			case "both":
+				rows = append(rows, bench.RunE21(n, 100000, elapsed)...)
+			case "on":
+				rows = append(rows, bench.RunE21Mode("delta", n, 100000, elapsed))
+			case "off":
+				rows = append(rows, bench.RunE21Mode("fold", n, 100000, elapsed))
+			default:
+				fmt.Fprintln(os.Stderr, `-delta must be "both", "on", or "off"`)
+				os.Exit(2)
+			}
+		}
+		return bench.E21Table(rows)
+	}},
 	"a1": {"ablation: topological vs naive propagation", func() *bench.Table {
 		return bench.A1Table(bench.RunA1([]int{2, 4, 6, 8, 10, 12}))
 	}},
@@ -136,8 +158,12 @@ var workersFlag = flag.Int("workers", 2, "updater worker pool size for c1 (0 = i
 // memoized / recompute-per-access read path.
 var memoFlag = flag.String("memo", "both", `e20 read-path ablation: "both", "on", or "off"`)
 
+// deltaFlag is the e21 delta-propagation ablation: run both modes, or
+// only the O(1) pair-apply / full-fold maintenance path.
+var deltaFlag = flag.String("delta", "both", `e21 delta-propagation ablation: "both", "on", or "off"`)
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e20, a1, c1, f2, all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e21, a1, c1, f2, all)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 

@@ -92,6 +92,8 @@ func main() {
 		st.ShedTicks, st.QueueHighWater)
 	fmt.Printf("read path: memoHits=%d memoMisses=%d memoHitRate=%.3f coalescedReads=%d\n",
 		st.MemoHits, st.MemoMisses, st.MemoHitRate(), st.CoalescedReads)
+	fmt.Printf("delta path: deltaFires=%d deltaFallbacks=%d deltaRebases=%d deltaHitRate=%.3f\n",
+		st.DeltaFires, st.DeltaFallbacks, st.DeltaRebases, st.DeltaHitRate())
 }
 
 func must(err error) {

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// E21Row is one mode of the delta-propagation fan-in experiment.
+type E21Row struct {
+	// Mode is "delta" (the O(1) pair-apply channel) or "fold" (the
+	// paper's full recompute per upstream publication, via
+	// WithoutDeltaPropagation).
+	Mode string
+	// FanIn is the aggregate's dependency count.
+	FanIn int
+	// Fires is the number of upstream publications driven.
+	Fires int
+	// NsPerFire is wall time per publication, including the publisher's
+	// own refresh and the aggregate's maintenance.
+	NsPerFire int64
+	// DeltaFires / DeltaFallbacks / DeltaRebases are the delta-channel
+	// counters over the driven window.
+	DeltaFires     int64
+	DeltaFallbacks int64
+	DeltaRebases   int64
+	// DeltaHitRate is the fraction of aggregate refreshes served by the
+	// O(1) path.
+	DeltaHitRate float64
+	// ComputesPerKiloFire is user computes per 1000 publications,
+	// including the publisher's own recompute: ~2000 in fold mode
+	// (publisher + full fold), ~1000 in delta mode (publisher only,
+	// plus the scheduled rebases).
+	ComputesPerKiloFire float64
+}
+
+// E21System builds the E21 workload: one aggregate (DeltaSum) over a
+// fan-in of n dependencies — a hot triggered cell registered for event
+// "tick" that alternates between two pre-boxed values, plus n-1 static
+// cells — and returns the registry, the hot cell's value cursor, and
+// the aggregate subscription. With the delta channel on, each tick
+// costs one pair application on the aggregate; with it off, each tick
+// re-folds all n dependencies.
+func E21System(mode string, n int) (*core.Registry, *int, *core.Subscription, *core.Env) {
+	var opts []core.EnvOption
+	if mode == "fold" {
+		opts = append(opts, core.WithoutDeltaPropagation())
+	}
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc, opts...)
+	r := env.NewRegistry("op")
+
+	// Pre-boxed publications: the hot cell alternates 1.0 <-> 2.0, so
+	// the timed loop measures maintenance, not interface boxing.
+	boxed := []core.Value{1.0, 2.0}
+	step := new(int)
+	r.MustDefine(&core.Definition{
+		Kind:   "hot",
+		Events: []string{"tick"},
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewTriggered(func(clock.Time) (core.Value, error) {
+				return boxed[*step&1], nil
+			}), nil
+		},
+	})
+	drefs := []core.DepRef{core.Dep(core.Self(), "hot")}
+	for i := 1; i < n; i++ {
+		kind := core.Kind(fmt.Sprintf("d%d", i))
+		v := float64(i)
+		r.MustDefine(&core.Definition{
+			Kind:  kind,
+			Build: func(*core.BuildContext) (core.Handler, error) { return core.NewStatic(v), nil },
+		})
+		drefs = append(drefs, core.Dep(core.Self(), kind))
+	}
+	r.MustDefine(&core.Definition{
+		Kind:  "agg",
+		Deps:  drefs,
+		Delta: core.DeltaSum(),
+		Build: core.NewDeltaAggregate,
+	})
+	sub, err := r.Subscribe("agg")
+	if err != nil {
+		panic(err)
+	}
+	return r, step, sub, env
+}
+
+// E21Want is the expected aggregate value after the last tick: the hot
+// cell's current publication plus the static tail 1+2+...+n-1.
+func E21Want(step, n int) float64 {
+	return float64(1+step&1) + float64(n*(n-1)/2)
+}
+
+// RunE21 measures both modes of the fan-in maintenance experiment on
+// the same workload.
+func RunE21(n, fires int, elapsed func(fn func()) int64) []E21Row {
+	var rows []E21Row
+	for _, mode := range []string{"fold", "delta"} {
+		rows = append(rows, RunE21Mode(mode, n, fires, elapsed))
+	}
+	return rows
+}
+
+// RunE21Mode runs one mode of E21: "delta" or "fold".
+func RunE21Mode(mode string, n, fires int, elapsed func(fn func()) int64) E21Row {
+	r, step, sub, env := E21System(mode, n)
+	defer sub.Unsubscribe()
+
+	// Warm tick: plan cache and snapshot chunks populated, so the timed
+	// loop measures the steady state.
+	*step = 1
+	r.FireEvent("tick")
+
+	before := env.Stats().Snapshot()
+	ns := elapsed(func() {
+		for i := 0; i < fires; i++ {
+			*step = i
+			r.FireEvent("tick")
+		}
+	})
+	delta := env.Stats().Snapshot().Sub(before)
+
+	if v, err := sub.Float(); err != nil || v != E21Want(fires-1, n) {
+		panic(fmt.Sprintf("agg = %v, %v; want %v", v, err, E21Want(fires-1, n)))
+	}
+	return E21Row{
+		Mode:                mode,
+		FanIn:               n,
+		Fires:               fires,
+		NsPerFire:           ns / int64(fires),
+		DeltaFires:          delta.DeltaFires,
+		DeltaFallbacks:      delta.DeltaFallbacks,
+		DeltaRebases:        delta.DeltaRebases,
+		DeltaHitRate:        delta.DeltaHitRate(),
+		ComputesPerKiloFire: 1000 * float64(delta.ComputeCalls) / float64(fires),
+	}
+}
+
+// E21Table renders the delta-propagation fan-in comparison.
+func E21Table(rows []E21Row) *Table {
+	t := &Table{
+		Title:  "E21 — incremental delta propagation: O(1) pair-apply vs full fold",
+		Note:   "one DeltaSum aggregate over an n-edge fan-in; each tick republishes one edge. The delta channel patches the accumulator with the (old, new) pair in O(1); the fold ablation (WithoutDeltaPropagation) re-reads all n dependencies per tick",
+		Header: []string{"mode", "fan-in", "fires", "ns/fire", "deltaFires", "fallbacks", "rebases", "hit rate", "computes/1k fires"},
+	}
+	for _, r := range rows {
+		t.Add(r.Mode, r.FanIn, r.Fires, r.NsPerFire, r.DeltaFires, r.DeltaFallbacks, r.DeltaRebases,
+			fmt.Sprintf("%.3f", r.DeltaHitRate), fmt.Sprintf("%.2f", r.ComputesPerKiloFire))
+	}
+	return t
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE21DeltaVsFold(t *testing.T) {
+	elapsed := func(fn func()) int64 { fn(); return 1 }
+	rows := RunE21(50, 2000, elapsed)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	fold, delta := rows[0], rows[1]
+	if fold.Mode != "fold" || delta.Mode != "delta" {
+		t.Fatalf("modes = %q, %q", fold.Mode, delta.Mode)
+	}
+	// Fold ablation: the channel never fires; every tick re-folds.
+	if fold.DeltaFires != 0 {
+		t.Fatalf("fold deltaFires = %d, want 0", fold.DeltaFires)
+	}
+	if fold.ComputesPerKiloFire < 1000 {
+		t.Fatalf("fold computes/1k = %v, want >= 1000", fold.ComputesPerKiloFire)
+	}
+	// Delta mode: the steady state fires the O(1) path on (nearly)
+	// every tick — only the scheduled rebases (every 1024 applications
+	// for DeltaSum's default) re-fold.
+	if delta.DeltaFires < int64(delta.Fires)-delta.DeltaRebases-delta.DeltaFallbacks {
+		t.Fatalf("delta fires = %d of %d (fallbacks=%d rebases=%d)",
+			delta.DeltaFires, delta.Fires, delta.DeltaFallbacks, delta.DeltaRebases)
+	}
+	if delta.DeltaFallbacks != 0 {
+		t.Fatalf("delta fallbacks = %d, want 0 (no structural churn in the loop)", delta.DeltaFallbacks)
+	}
+	if delta.DeltaRebases == 0 {
+		t.Fatalf("delta rebases = 0, want > 0 (2000 fires over the 1024 default interval)")
+	}
+	if delta.DeltaHitRate < 0.99 {
+		t.Fatalf("delta hit rate = %v, want >= 0.99", delta.DeltaHitRate)
+	}
+
+	var b strings.Builder
+	E21Table(rows).Fprint(&b)
+	for _, want := range []string{"delta", "fold", "E21"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, b.String())
+		}
+	}
+}

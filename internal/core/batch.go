@@ -196,6 +196,15 @@ func (env *Env) runTickBatch(hs []*periodicHandler, now clock.Time) {
 	// latest published instant so dependents never see a timestamp
 	// older than the values they read.
 	sc := env.lockScope(regs...)
+	// Deliver every publication of the batch to the delta channel
+	// first: a dependent shared by k same-boundary publishers then
+	// refreshes once with k pairs pending (the same coalescing the
+	// merged seed set gives the refresh itself).
+	for _, e := range pubs {
+		if e.deltaDeps > 0 {
+			notifyDeltaLocked(e)
+		}
+	}
 	root := find(pubs[0].reg.comp)
 	seeds := root.seedBuf[:0]
 	for _, e := range pubs {

@@ -47,6 +47,14 @@ type Definition struct {
 	// WithComputeDeadline).
 	ComputeDeadline clock.Duration
 
+	// Delta declares the item's delta form for NewDeltaAggregate: an
+	// invertible (Combine/Retract) fold over the fan-in values that
+	// lets dependency publications be applied as O(1) (old, new) pairs
+	// instead of re-running the full compute, with an exact fold
+	// fallback (see delta.go). Ignored by handlers other than
+	// NewDeltaAggregate.
+	Delta *DeltaSpec
+
 	// Pure declares that the item's compute is a function of its
 	// declared dependencies alone: it reads no clock, no captured
 	// mutable state, and no external inputs, so recomputing it against

@@ -54,6 +54,12 @@ type Env struct {
 	// naivePropagation enables the ablation propagation mode.
 	naivePropagation bool
 
+	// deltaOff disables the delta channel: aggregates built with
+	// NewDeltaAggregate refresh by full fold only (see delta.go). Set
+	// by WithoutDeltaPropagation and by the WithNaivePropagation
+	// ablation.
+	deltaOff bool
+
 	// perHandlerTicks enables the legacy per-handler tick dispatch
 	// (one Submit and one propagation per periodic handler per
 	// boundary) instead of scope-batched ticks. Ablation only.
@@ -99,9 +105,27 @@ func WithUpdater(u Updater) EnvOption {
 // naive propagation refreshes diamond-shaped dependents once per
 // incoming edge — exponentially often in layered DAGs — and may
 // compute them from half-updated inputs, which is exactly the
-// update-order problem Section 3.3 warns about.
+// update-order problem Section 3.3 warns about. The option also forces
+// the delta channel off (every aggregate refresh is a full fold), so
+// the flag means "paper-faithful baseline" on every propagation axis:
+// no plan cache is consulted in naive mode, and no O(1) delta
+// shortcut hides the per-edge recompute cost being measured.
 func WithNaivePropagation() EnvOption {
-	return func(e *Env) { e.naivePropagation = true }
+	return func(e *Env) {
+		e.naivePropagation = true
+		e.deltaOff = true
+	}
+}
+
+// WithoutDeltaPropagation disables the delta channel on an otherwise
+// unchanged pipeline: publishers stop recording (old, new) transitions
+// and every NewDeltaAggregate refresh runs the full fold, exactly the
+// paper's triggered recompute. FOR ABLATION AND BASELINE MEASUREMENTS
+// (benchmark E21) and for the delta-off half of the model-based
+// equivalence harness; the delta path is a pure optimization, so
+// values are byte-identical with the option on or off.
+func WithoutDeltaPropagation() EnvOption {
+	return func(e *Env) { e.deltaOff = true }
 }
 
 // WithPerHandlerTicks disables tick batching: every periodic handler

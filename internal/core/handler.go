@@ -69,6 +69,10 @@ type triggerable interface {
 type valueSnapshot struct {
 	val Value
 	err error
+	// fbox is the inline storage of a float64 published via putFloat
+	// (delta path): val's eface points at it, so the publish costs no
+	// boxing allocation (see delta.go).
+	fbox float64
 }
 
 // snapAlloc hands out valueSnapshot slots from chunked backing arrays,

@@ -268,6 +268,9 @@ func (h *periodicHandler) runProbe(now clock.Time) {
 	env.scheduler().At(now.Add(h.window), task)
 	if e.ndeps.Load() > 0 {
 		sc := env.lockScope(e.reg)
+		if e.deltaDeps > 0 {
+			notifyDeltaLocked(e)
+		}
 		e.reg.propagateLocked(e, now)
 		sc.unlock()
 	}
@@ -287,6 +290,9 @@ func (h *periodicHandler) tick(now clock.Time) {
 	if e.ndeps.Load() > 0 {
 		env := e.reg.env
 		sc := env.lockScope(e.reg)
+		if e.deltaDeps > 0 {
+			notifyDeltaLocked(e)
+		}
 		e.reg.propagateLocked(e, end)
 		sc.unlock()
 	}

@@ -230,6 +230,12 @@ func (env *Env) refreshClosureLocked(seeds []*entry, now clock.Time) {
 			// Errors are stored in the handler and surface at the
 			// consumer's next read.
 			_ = t.refresh(now)
+			// The refresh may have republished; deliver the transition
+			// to delta dependents before the plan reaches them (the
+			// topological order guarantees they come later).
+			if e.deltaDeps > 0 {
+				notifyDeltaLocked(e)
+			}
 		}
 	}
 }

@@ -62,6 +62,15 @@ type entry struct {
 	dependents map[*entry]int
 	events     []string
 
+	// Delta-channel edge state, guarded by the component lock (see
+	// delta.go). deltaDeps counts delta-eligible dependent edges;
+	// while it is positive, deltaLast/deltaLastOK track the latest
+	// delta-visible published value — the value every dependent
+	// accumulator over this edge currently reflects.
+	deltaDeps   int
+	deltaLast   float64
+	deltaLastOK bool
+
 	// ndeps mirrors len(dependents) so periodic handlers can skip the
 	// component lock entirely when nothing depends on them — the
 	// key to parallel periodic updates on the worker pool (Section
@@ -577,6 +586,11 @@ func (e *entry) releaseLocked() {
 	if e.handler != nil {
 		e.handler.stop()
 	}
+	// Deregister from the dependencies' delta channels before the
+	// dependency entries themselves are released.
+	if th, ok := e.handler.(*triggeredHandler); ok && th.ds != nil {
+		th.ds.stopLocked()
+	}
 	if e.def.Probe != nil {
 		e.def.Probe.Deactivate()
 	}
@@ -648,6 +662,12 @@ func (r *Registry) NotifyChanged(kind Kind) {
 		od.memo.Store(nil)
 	}
 	e.version.Add(1)
+	// The announced value is the new delta-visible truth of this edge:
+	// deliver the transition (or a poison mark for non-float values) to
+	// delta dependents before they refresh.
+	if e.deltaDeps > 0 {
+		notifyDeltaLocked(e)
+	}
 	r.propagateLocked(e, r.env.Now())
 }
 
@@ -685,6 +705,9 @@ func (env *Env) refreshNaiveLocked(seeds []*entry, now clock.Time) {
 		}
 		env.stats.TriggerNotifications.Add(1)
 		_ = t.refresh(now)
+		if e.deltaDeps > 0 {
+			notifyDeltaLocked(e)
+		}
 		deps := make([]*entry, 0, len(e.dependents))
 		for d := range e.dependents {
 			deps = append(deps, d)

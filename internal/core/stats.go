@@ -80,6 +80,20 @@ type Stats struct {
 	// (singleflight). The leader's compute is counted once in
 	// OnDemandComputes regardless of how many readers it served.
 	CoalescedReads atomic.Int64
+	// DeltaFires counts delta-aggregate refreshes served by the O(1)
+	// pair-apply path without re-running the full fold. Sharded: it is
+	// the delta propagation hot path.
+	DeltaFires ShardedCounter
+	// DeltaFallbacks counts delta-aggregate refreshes that ran the
+	// exact full-fold fallback (see the fallback matrix in delta.go);
+	// on delta-off envs every aggregate refresh counts here. Sharded:
+	// it sits on the same refresh path as DeltaFires.
+	DeltaFallbacks ShardedCounter
+	// DeltaRebases counts scheduled re-folds that bound float drift
+	// (DeltaSpec.RebaseEvery); counted separately from DeltaFallbacks
+	// so the hit rate distinguishes policy from inability. Sharded:
+	// same refresh path.
+	DeltaRebases ShardedCounter
 }
 
 // noteQueueDelta adjusts the updater queue-depth gauge by delta (+1 per
@@ -126,6 +140,9 @@ type Snapshot struct {
 	MemoHits             int64
 	MemoMisses           int64
 	CoalescedReads       int64
+	DeltaFires           int64
+	DeltaFallbacks       int64
+	DeltaRebases         int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -155,6 +172,9 @@ func (s *Stats) Snapshot() Snapshot {
 		MemoHits:             s.MemoHits.Load(),
 		MemoMisses:           s.MemoMisses.Load(),
 		CoalescedReads:       s.CoalescedReads.Load(),
+		DeltaFires:           s.DeltaFires.Load(),
+		DeltaFallbacks:       s.DeltaFallbacks.Load(),
+		DeltaRebases:         s.DeltaRebases.Load(),
 	}
 }
 
@@ -188,6 +208,9 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		MemoHits:       s.MemoHits - t.MemoHits,
 		MemoMisses:     s.MemoMisses - t.MemoMisses,
 		CoalescedReads: s.CoalescedReads - t.CoalescedReads,
+		DeltaFires:     s.DeltaFires - t.DeltaFires,
+		DeltaFallbacks: s.DeltaFallbacks - t.DeltaFallbacks,
+		DeltaRebases:   s.DeltaRebases - t.DeltaRebases,
 	}
 }
 
@@ -219,6 +242,18 @@ func (s Snapshot) MemoHitRate() float64 {
 		return 0
 	}
 	return float64(s.MemoHits) / float64(total)
+}
+
+// DeltaHitRate returns the fraction of delta-aggregate refreshes
+// served by the O(1) pair-apply path, or 0 when no aggregate refresh
+// ran. Rebases count toward the total (they are refreshes the delta
+// path did not serve) but are reported separately in the snapshot.
+func (s Snapshot) DeltaHitRate() float64 {
+	total := s.DeltaFires + s.DeltaFallbacks + s.DeltaRebases
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DeltaFires) / float64(total)
 }
 
 // UpdateWork returns the total number of maintenance operations in the

@@ -1,0 +1,186 @@
+package modelcheck
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// TestSequentialEquivalenceDeltaOff runs the seeded workloads — whose
+// generated mix includes delta aggregates (invertible sum/count/mean
+// and non-invertible min, with small rebase intervals) — against the
+// model with the delta channel disabled. The same seeds run delta-on
+// in TestSequentialEquivalence; both pin every value bitwise against
+// the same model, so the two ablations are proven bit-identical to
+// each other, and the counter pinning proves the delta-off run never
+// fires the O(1) path.
+func TestSequentialEquivalenceDeltaOff(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 120; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunSequentialDeltaOff(t, seed)
+		})
+	}
+}
+
+// deltaTwin is one hand-built system for the quarantine twin test: a
+// triggered cell publishing a shared variable on event "ev", and a
+// delta-sum aggregate over it whose Combine panics while a shared
+// fault flag is set.
+type deltaTwin struct {
+	clk *clock.Virtual
+	env *core.Env
+	reg *core.Registry
+}
+
+func newDeltaTwin(t *testing.T, val *float64, broken *bool, extra ...core.EnvOption) *deltaTwin {
+	t.Helper()
+	vc := clock.NewVirtual()
+	opts := append([]core.EnvOption{core.WithBreaker(core.BreakerPolicy{
+		FailureThreshold: 2,
+		FailureWindow:    1 << 20,
+		ProbeBackoff:     3,
+		MaxProbeBackoff:  12,
+	})}, extra...)
+	tw := &deltaTwin{clk: vc, env: core.NewEnv(vc, opts...)}
+	tw.reg = tw.env.NewRegistry("tw")
+
+	tw.reg.MustDefine(&core.Definition{
+		Kind:   "cell",
+		Events: []string{"ev"},
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewTriggered(func(clock.Time) (core.Value, error) { return *val, nil }), nil
+		},
+	})
+	spec := core.DeltaSum()
+	combine := spec.Combine
+	spec.Combine = func(a core.DeltaAcc, v float64) core.DeltaAcc {
+		if *broken {
+			panic("injected: combine")
+		}
+		return combine(a, v)
+	}
+	tw.reg.MustDefine(&core.Definition{
+		Kind:  "agg",
+		Deps:  []core.DepRef{core.Dep(core.Self(), "cell")},
+		Delta: spec,
+		Build: core.NewDeltaAggregate,
+	})
+	if _, err := tw.reg.Subscribe("agg"); err != nil {
+		t.Fatal(err)
+	}
+	return tw
+}
+
+// TestDeltaQuarantineTwin drives a breaker trip/quarantine/probe/
+// recovery cycle through a faulty delta aggregate on two twin systems
+// — delta-on and delta-off — and checks at every step that the
+// published value, the error class, and the health state are
+// identical: the O(1) path must not change what a degraded aggregate
+// looks like, only how a healthy one is maintained (pinned by the
+// final counters: the on-twin both fires and falls back, the off-twin
+// never fires).
+func TestDeltaQuarantineTwin(t *testing.T) {
+	val, broken := 5.0, false
+	on := newDeltaTwin(t, &val, &broken)
+	off := newDeltaTwin(t, &val, &broken, core.WithoutDeltaPropagation())
+	twins := []*deltaTwin{on, off}
+
+	compare := func(step string, wantErr error, wantState core.HealthState) {
+		t.Helper()
+		vOn, eOn := on.reg.Peek("agg")
+		vOff, eOff := off.reg.Peek("agg")
+		if vOn != vOff || classify(eOn) != classify(eOff) {
+			t.Fatalf("%s: on (%v, %v), off (%v, %v)", step, vOn, eOn, vOff, eOff)
+		}
+		for _, tw := range twins {
+			if wantErr == nil && eOn != nil {
+				t.Fatalf("%s: Peek error %v, want nil", step, eOn)
+			}
+			if wantErr != nil && !errors.Is(eOn, wantErr) {
+				t.Fatalf("%s: Peek error %v, want %v", step, eOn, wantErr)
+			}
+			hs, ok := tw.reg.Health("agg")
+			if !ok || hs.State != wantState {
+				t.Fatalf("%s: health %v (ok=%v), want %v", step, hs.State, ok, wantState)
+			}
+		}
+	}
+	fire := func(v float64) {
+		val = v
+		for _, tw := range twins {
+			tw.reg.FireEvent("ev")
+		}
+	}
+
+	compare("initial fold", nil, core.Healthy)
+
+	fire(7) // healthy update: on-twin fires the O(1) path
+	compare("healthy update", nil, core.Healthy)
+
+	broken = true
+	fire(9) // Combine panics: applyPairs refuses, fold fails — failure 1
+	compare("failure 1", core.ErrComputePanic, core.Degraded)
+	fire(11) // failure 2: breaker trips, stale last-good (7) served
+	compare("tripped", core.ErrStale, core.Quarantined)
+
+	fire(13) // while quarantined: pairs dropped, stale value stands
+	compare("quarantined refresh", core.ErrStale, core.Quarantined)
+	for _, tw := range twins {
+		if v, _ := tw.reg.Peek("agg"); v != any(7.0) {
+			t.Fatalf("quarantined refresh: stale value %v, want 7", v)
+		}
+	}
+
+	broken = false
+	for _, tw := range twins {
+		tw.clk.Advance(20) // past the probe backoff: recovery probe folds live
+	}
+	compare("probe recovery", nil, core.Healthy)
+	for _, tw := range twins {
+		if v, _ := tw.reg.Peek("agg"); v != any(13.0) {
+			t.Fatalf("probe recovery: value %v, want 13", v)
+		}
+	}
+
+	fire(15) // first post-recovery refresh: accumulator invalid, fold fallback
+	compare("post-recovery fold", nil, core.Healthy)
+	fire(16) // re-validated: on-twin back on the O(1) path
+	compare("steady state", nil, core.Healthy)
+	for _, tw := range twins {
+		if v, _ := tw.reg.Peek("agg"); v != any(16.0) {
+			t.Fatalf("steady state: value %v, want 16", v)
+		}
+	}
+
+	stOn := on.env.Stats().Snapshot()
+	stOff := off.env.Stats().Snapshot()
+	if stOn.DeltaFires != 2 || stOn.DeltaFallbacks != 3 || stOn.DeltaRebases != 0 {
+		t.Fatalf("on-twin delta counters fires=%d fallbacks=%d rebases=%d, want 2/3/0",
+			stOn.DeltaFires, stOn.DeltaFallbacks, stOn.DeltaRebases)
+	}
+	if stOff.DeltaFires != 0 || stOff.DeltaFallbacks != 5 {
+		t.Fatalf("off-twin delta counters fires=%d fallbacks=%d, want 0/5",
+			stOff.DeltaFires, stOff.DeltaFallbacks)
+	}
+}
+
+// TestConcurrentStressDeltaOff is the concurrent stress driver over a
+// delta-disabled env: 4 goroutines, pool updater, race detector. The
+// delta-on variant is TestConcurrentStress (the generated workloads
+// include aggregates either way).
+func TestConcurrentStressDeltaOff(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 24; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			RunConcurrent(t, seed, 4, core.WithoutDeltaPropagation())
+		})
+	}
+}

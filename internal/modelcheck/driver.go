@@ -75,6 +75,23 @@ func RunSequentialMemo(t *testing.T, seed int64) {
 	runLockstep(t, fmt.Sprintf("seed=%d(memo)", seed), wl, core.WithMemoizedOnDemand())
 }
 
+// RunSequentialDeltaOff is RunSequential over a delta-disabled env
+// (core.WithoutDeltaPropagation): the identical workload — including
+// its delta aggregates — must stay exactly value- and
+// error-equivalent to the model with every aggregate refresh on the
+// full-fold path (the model pins DeltaFires to zero). Together with
+// RunSequential on the same seeds this is the delta-on/delta-off
+// lockstep: both runs compare bit-identical values against the same
+// model, so they are bit-identical to each other.
+func RunSequentialDeltaOff(t *testing.T, seed int64) {
+	t.Helper()
+	wl := Generate(seed, Config{Ops: 80})
+	model := NewModel(wl)
+	model.DeltaOff = true
+	runLockstepModel(t, fmt.Sprintf("seed=%d(delta-off)", seed), wl, model,
+		core.WithoutDeltaPropagation())
+}
+
 // runLockstep executes a workload's op script against the real system
 // (inline updater) and the model in lockstep, comparing after every
 // op. It is shared by the seeded sequential driver and the hand-built
@@ -82,8 +99,14 @@ func RunSequentialMemo(t *testing.T, seed int64) {
 // are forwarded to NewSystem.
 func runLockstep(t *testing.T, label string, wl *Workload, extra ...core.EnvOption) {
 	t.Helper()
+	runLockstepModel(t, label, wl, NewModel(wl), extra...)
+}
+
+// runLockstepModel is runLockstep with a caller-prepared model (e.g.
+// one with DeltaOff set to match a delta-disabled env).
+func runLockstepModel(t *testing.T, label string, wl *Workload, model *Model, extra ...core.EnvOption) {
+	t.Helper()
 	sys := NewSystem(wl, nil, nil, extra...)
-	model := NewModel(wl)
 	var subs []heldSub
 
 	for i, op := range wl.Ops {
@@ -166,6 +189,16 @@ func compareStates(t *testing.T, at string, sys *System, model *Model, subs []he
 	// exactly once per instant.
 	if got, want := sys.Env.Stats().TriggerNotifications.Load(), model.Refreshes(); got != want {
 		t.Fatalf("%s: %d trigger notifications, model %d refreshes", at, got, want)
+	}
+	// Pin the delta-path decision, not just the resulting values: the
+	// model mirrors the fire/fallback/rebase contract, so a divergence
+	// here localizes a refresh that took the wrong path even when both
+	// paths would publish the same (exact) value.
+	st := sys.Env.Stats().Snapshot()
+	mf, mfb, mr := model.DeltaCounters()
+	if st.DeltaFires != mf || st.DeltaFallbacks != mfb || st.DeltaRebases != mr {
+		t.Fatalf("%s: delta fires/fallbacks/rebases %d/%d/%d, model %d/%d/%d",
+			at, st.DeltaFires, st.DeltaFallbacks, st.DeltaRebases, mf, mfb, mr)
 	}
 	for ri := range sys.Wl.Regs {
 		reg := sys.Regs[ri]

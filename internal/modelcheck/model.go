@@ -34,6 +34,23 @@ type Model struct {
 	attached []bool // per registry index; modules start attached
 	items    map[ikey]*mItem
 
+	// DeltaOff mirrors core.WithoutDeltaPropagation on the system under
+	// test: no pairs flow and every aggregate refresh is a fallback.
+	DeltaOff bool
+
+	// epoch mirrors Env.writeEpoch: bumped once per entry creation (at
+	// commit, before handler start), once per entry removal, and once
+	// per successful Define — the exact bumpStruct sites of core. An
+	// aggregate whose stamp lags the epoch must take the fold fallback.
+	epoch uint64
+
+	// Delta-path counters, pinned against the system's stats after
+	// every op: the model decides fire/fallback/rebase from the mirrored
+	// contract, so a divergence localizes a wrong decision in core.
+	deltaFires     int64
+	deltaFallbacks int64
+	deltaRebases   int64
+
 	// cseq mirrors Env.seq (entry creation order, the tie-break of
 	// trigger propagation); eseq mirrors the virtual clock's event
 	// sequence (the tie-break between ticks at one instant). Both
@@ -65,6 +82,22 @@ type mItem struct {
 	nextFire clock.Time // periodic: next boundary
 	cseq     uint64     // creation order (mirrors entry.seq)
 	evSeq    uint64     // periodic: pending tick's event sequence
+
+	delta *mDelta // delta-aggregate state (nil for plain items)
+}
+
+// mDelta mirrors core's deltaState for the fire/fallback/rebase
+// decision. The model never maintains the accumulator incrementally —
+// its value is always the full fold, which is the exactness claim
+// under test: if core's O(1) path ever drifts from the fold, the value
+// comparison catches it at the op where it happened.
+type mDelta struct {
+	spec    *core.DeltaSpec
+	valid   bool
+	epoch   uint64
+	applied int
+	rebase  int // resolved limit (0 = never rebase)
+	pending int // pairs consumed by the next refresh
 }
 
 // NewModel returns the reference model for a workload, at time 0 with
@@ -90,6 +123,13 @@ func (m *Model) Now() clock.Time { return m.now }
 // so far; it must equal the system's Stats.TriggerNotifications after
 // every operation (with the inline updater).
 func (m *Model) Refreshes() int64 { return m.refreshes }
+
+// DeltaCounters returns the mirrored delta-path counters; they must
+// equal the system's DeltaFires/DeltaFallbacks/DeltaRebases after
+// every operation (with the inline updater).
+func (m *Model) DeltaCounters() (fires, fallbacks, rebases int64) {
+	return m.deltaFires, m.deltaFallbacks, m.deltaRebases
+}
 
 // IsIncluded reports whether the item is included.
 func (m *Model) IsIncluded(ri int, kind core.Kind) bool {
@@ -201,6 +241,11 @@ func (m *Model) include(ri int, kind core.Kind) (ikey, error) {
 		}
 	}
 
+	// Entry commit: core bumps the write epoch once per created entry,
+	// then starts the handler (so an aggregate's own stamp reflects its
+	// own bump, but lags any entry created later in the same cascade).
+	m.epoch++
+
 	// Handler start: the initial value per the shared semantics.
 	switch spec.Mech {
 	case core.StaticMechanism:
@@ -212,9 +257,31 @@ func (m *Model) include(ri int, kind core.Kind) (ikey, error) {
 		m.eseq++
 		it.val = encodeWindow(m.now, m.now)
 	case core.TriggeredMechanism:
-		it.val = spec.Base + m.sumDeps(it) + 0.01*float64(m.now)
+		if spec.Agg != "" {
+			it.delta = &mDelta{
+				spec:   deltaSpecFor(spec),
+				valid:  true,
+				epoch:  m.epoch,
+				rebase: rebaseLimit(spec.Rebase),
+			}
+			it.val = m.foldAgg(it)
+		} else {
+			it.val = spec.Base + m.sumDeps(it) + 0.01*float64(m.now)
+		}
 	}
 	return k, nil
+}
+
+// rebaseLimit mirrors core's DeltaSpec.rebaseLimit: 0 selects the
+// default interval, negative disables rebasing.
+func rebaseLimit(n int) int {
+	if n == 0 {
+		return core.DefaultDeltaRebaseEvery
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // Unsubscribe releases one external reference of an included item.
@@ -229,6 +296,7 @@ func (m *Model) release(k ikey) {
 		return
 	}
 	delete(m.items, k)
+	m.epoch++ // entry removal bumps the write epoch (releaseLocked)
 	for _, g := range it.depGroups {
 		for _, dk := range g {
 			d := m.items[dk]
@@ -321,11 +389,16 @@ func (m *Model) Advance(d int64) {
 		sort.Slice(due, func(i, j int) bool { return due[i].evSeq < due[j].evSeq })
 		var seeds []ikey
 		for _, it := range due {
+			old := it.val
 			it.val = encodeWindow(it.winStart, m.now)
 			it.winStart = m.now
 			it.nextFire = m.now.Add(it.spec.Window)
 			it.evSeq = m.eseq // re-armed in bucket order at dispatch
 			m.eseq++
+			// The tick batch delivers every publication to the delta
+			// channel before the merged propagation runs, so an aggregate
+			// refresh consumes all same-instant pairs at once.
+			m.pushPairs(it, old)
 			seeds = append(seeds, dependentKeys(it)...)
 		}
 		m.propagate(seeds)
@@ -418,7 +491,16 @@ func (m *Model) propagate(seeds []ikey) {
 		ready = ready[1:]
 		it := m.items[k]
 		m.refreshes++
-		it.val = it.spec.Base + m.sumDeps(it) + 0.01*float64(m.now)
+		old := it.val
+		if it.delta != nil {
+			m.refreshAgg(it)
+		} else {
+			it.val = it.spec.Base + m.sumDeps(it) + 0.01*float64(m.now)
+		}
+		// The plan walk notifies the delta channel after each refresh in
+		// topological order, so aggregate dependents deeper in the walk
+		// see this item's transition before their own refresh.
+		m.pushPairs(it, old)
 		var next []ikey
 		for d := range it.dependents {
 			if !affected[d] {
@@ -448,6 +530,9 @@ func (m *Model) Redefine(ri int, kind core.Kind) error {
 	if _, ok := m.items[ikey{ri, kind}]; ok {
 		return core.ErrItemInUse
 	}
+	// A successful Define bumps the write epoch (conservatively, like
+	// core), so every live aggregate's next refresh is a fold fallback.
+	m.epoch++
 	return nil
 }
 
@@ -468,6 +553,77 @@ func (m *Model) Detach(mi int) error {
 
 // Attach mirrors Registry.AttachModule: unconditional.
 func (m *Model) Attach(mi int) { m.attached[mi] = true }
+
+// pushPairs mirrors notifyDeltaLocked for a fault-free publication: an
+// unchanged value delivers nothing, a changed one delivers one pair
+// per declared edge to every delta-tracking dependent. (Poison never
+// arises here: workload values are always clean finite floats.)
+func (m *Model) pushPairs(it *mItem, old float64) {
+	if m.DeltaOff || it.val == old {
+		return
+	}
+	for dk, edges := range it.dependents {
+		if d := m.items[dk]; d.delta != nil {
+			d.delta.pending += edges
+		}
+	}
+}
+
+// refreshAgg mirrors refreshDelta's decision for one aggregate refresh
+// in a fault-free sequential run: consume the pending pairs, fire the
+// O(1) path when the contract proves it exact, else count a rebase or
+// fallback and re-fold (which re-validates and re-stamps the
+// accumulator). The published value is always the full fold — see
+// mDelta.
+func (m *Model) refreshAgg(it *mItem) {
+	d := it.delta
+	pairs := d.pending
+	d.pending = 0
+	if !m.DeltaOff && d.valid && d.epoch == m.epoch &&
+		(pairs == 0 || d.spec.Retract != nil) {
+		if d.rebase > 0 && d.applied >= d.rebase {
+			m.deltaRebases++
+			m.foldRestamp(it)
+			return
+		}
+		// applyPairs cannot refuse here: the generated specs' Retract
+		// callbacks are total (Min, the only refusing form, is handled
+		// by the pairs==0 gate above).
+		m.deltaFires++
+		d.applied++
+		it.val = m.foldAgg(it)
+		return
+	}
+	m.deltaFallbacks++
+	m.foldRestamp(it)
+}
+
+// foldRestamp is the model's foldRefreshLocked: full fold, accumulator
+// re-validated and re-stamped at the current epoch.
+func (m *Model) foldRestamp(it *mItem) {
+	d := it.delta
+	d.valid = true
+	d.applied = 0
+	d.epoch = m.epoch
+	it.val = m.foldAgg(it)
+}
+
+// foldAgg folds the aggregate's flattened fan-in in declaration order
+// through the shared core.DeltaSpec — the identical float64 operations
+// core's fold performs, so values compare exactly.
+func (m *Model) foldAgg(it *mItem) float64 {
+	spec := it.delta.spec
+	var acc core.DeltaAcc
+	for _, g := range it.depGroups {
+		for _, dk := range g {
+			acc = spec.Combine(acc, m.value(m.items[dk]))
+		}
+	}
+	if spec.Finish != nil {
+		return spec.Finish(acc)
+	}
+	return acc[0]
+}
 
 func dependentKeys(it *mItem) []ikey {
 	out := make([]ikey, 0, len(it.dependents))

@@ -239,6 +239,8 @@ func NewSystem(wl *Workload, updater core.Updater, faults *Faults, extra ...core
 //	on-demand, pure: Base + Σ dep values              (no access-time term)
 //	periodic:        start·1e6 + end                  (encodes the window)
 //	triggered:       Base + Σ dep values + 0.01·now   (at refresh time)
+//	aggregate:       the Delta spec's fold over the fan-in (no Base or
+//	                 time term, so delta and fold paths compare exactly)
 //
 // Pure on-demand items carry Definition.Pure, so a memo-enabled env
 // (core.WithMemoizedOnDemand) may serve them from cache; their value
@@ -253,11 +255,16 @@ func (s *System) definition(ri int, it ItemSpec) *core.Definition {
 	for i, d := range it.Deps {
 		deps[i] = toDepRef(d)
 	}
+	var delta *core.DeltaSpec
+	if it.Agg != "" {
+		delta = deltaSpecFor(&it)
+	}
 	return &core.Definition{
 		Kind:   it.Kind,
 		Deps:   deps,
 		Events: it.Events,
 		Pure:   it.Pure,
+		Delta:  delta,
 		Build: func(ctx *core.BuildContext) (core.Handler, error) {
 			if s.faults.panicBuild(k) {
 				panic(fmt.Sprintf("injected: build %v", k))
@@ -313,6 +320,12 @@ func (s *System) definition(ri int, it ItemSpec) *core.Definition {
 					return encodeWindow(start, end), nil
 				}), nil
 			case core.TriggeredMechanism:
+				if it.Agg != "" {
+					// Delta aggregate: the handler's value is the declared
+					// fold over the fan-in, maintained through the pair
+					// channel when the exactness contract holds.
+					return core.NewDeltaAggregate(ctx)
+				}
 				return core.NewTriggered(func(now clock.Time) (core.Value, error) {
 					v, err := sumDeps(ctx)
 					if err != nil {

@@ -53,6 +53,15 @@ type ItemSpec struct {
 	// Volatile (non-pure) on-demand items keep the 0.001·now term and
 	// must recompute on every access even with memoization enabled.
 	Pure bool
+	// Agg names the delta-aggregate form of a triggered item ("sum",
+	// "count", "mean", "min"; empty for plain items). Aggregate values
+	// are the declared fold over the dependency fan-in — no Base or
+	// time term — so the incremental delta path and the model's full
+	// fold must agree bit for bit.
+	Agg string
+	// Rebase is the aggregate's DeltaSpec.RebaseEvery (0 = core
+	// default, negative = never).
+	Rebase int
 }
 
 // RegSpec declares one registry of the workload topology. Module
@@ -216,10 +225,23 @@ func Generate(seed int64, cfg Config) *Workload {
 				case p < 0.70:
 					it.Mech = core.PeriodicMechanism
 					it.Window = []clock.Duration{3, 5, 7, 10}[rng.Intn(4)]
-				default:
+				case p < 0.88:
 					it.Mech = core.TriggeredMechanism
+				default:
+					// A delta aggregate: triggered, maintained through the
+					// incremental pair channel when possible. The mix spans
+					// invertible (sum/count/mean) and non-invertible (min)
+					// forms and small rebase intervals, so every fallback
+					// row of the delta contract is exercised by the seeds.
+					it.Mech = core.TriggeredMechanism
+					it.Agg = []string{"sum", "count", "mean", "min"}[rng.Intn(4)]
+					it.Rebase = []int{-1, 0, 2, 3}[rng.Intn(4)]
 				}
-				it.Deps = genDeps(rng, w, ri, j)
+				if it.Agg != "" {
+					it.Deps = genAggDeps(rng, w, ri)
+				} else {
+					it.Deps = genDeps(rng, w, ri, j)
+				}
 			}
 			if it.Mech == core.TriggeredMechanism || rng.Float64() < 0.2 {
 				for _, ev := range []string{"e0", "e1"} {
@@ -278,6 +300,53 @@ func genDeps(rng *rand.Rand, w *Workload, ri, j int) []DepSpec {
 		}
 	}
 	return deps
+}
+
+// genAggDeps draws the fan-in of a delta aggregate: only "k0" items —
+// dependency-free, exactly-representable values (integer static bases
+// and integer-encoded periodic windows) — so the incremental
+// accumulator and a from-scratch fold are bit-identical and the
+// lockstep drivers can compare values exactly. Float-inexact sources
+// would make delta-vs-fold equality depend on operation order.
+// Duplicate edges (the same k0 drawn twice) exercise per-edge pair
+// multiplicity.
+func genAggDeps(rng *rand.Rand, w *Workload, ri int) []DepSpec {
+	reg := &w.Regs[ri]
+	n := 1 + rng.Intn(3) // 1..3
+	deps := make([]DepSpec, 0, n)
+	for d := 0; d < n; d++ {
+		p := rng.Float64()
+		switch {
+		case p < 0.45 || len(reg.Inputs) == 0 || reg.Parent >= 0:
+			deps = append(deps, DepSpec{Sel: SelSelf, Kind: "k0"})
+		case p < 0.75:
+			deps = append(deps, DepSpec{Sel: SelInput, Index: rng.Intn(len(reg.Inputs)), Kind: "k0"})
+		default:
+			deps = append(deps, DepSpec{Sel: SelEachInput, Kind: "k0"})
+		}
+	}
+	return deps
+}
+
+// deltaSpecFor materializes the core delta spec of an aggregate item.
+// Shared by the system under test and the reference model, so both
+// sides fold with the identical float64 operations.
+func deltaSpecFor(it *ItemSpec) *core.DeltaSpec {
+	var s *core.DeltaSpec
+	switch it.Agg {
+	case "sum":
+		s = core.DeltaSum()
+	case "count":
+		s = core.DeltaCount()
+	case "mean":
+		s = core.DeltaMean()
+	case "min":
+		s = core.DeltaMin()
+	default:
+		panic("modelcheck: unknown aggregate " + it.Agg)
+	}
+	s.RebaseEvery = it.Rebase
+	return s
 }
 
 // moduleOf returns the registry index of ri's module, or -1.

@@ -269,6 +269,11 @@ func (p OverheadProfile) PlanHitRate() float64 { return p.Window.PlanHitRate() }
 // window served from the versioned memo without recomputing.
 func (p OverheadProfile) MemoHitRate() float64 { return p.Window.MemoHitRate() }
 
+// DeltaHitRate returns the fraction of delta-aggregate refreshes in
+// the window served by the O(1) pair-apply path instead of a full
+// fold.
+func (p OverheadProfile) DeltaHitRate() float64 { return p.Window.DeltaHitRate() }
+
 // FormatReadPath renders the window's versioned-read-path counters as a
 // one-line summary: memo hits and misses, the resulting hit rate, and
 // reads coalesced onto another reader's in-flight compute.
@@ -283,6 +288,14 @@ func (p OverheadProfile) FormatPipeline() string {
 	return fmt.Sprintf("scopeBatches=%d batchedTicks=%d meanBatch=%.1f planHits=%d planMisses=%d hitRate=%.3f",
 		p.Window.ScopeBatches, p.Window.BatchedTicks, p.MeanBatchSize(),
 		p.Window.PlanCacheHits, p.Window.PlanCacheMisses, p.PlanHitRate())
+}
+
+// FormatDelta renders the window's delta-propagation counters as a
+// one-line summary: O(1) pair-apply fires, exact full-fold fallbacks,
+// scheduled drift rebases, and the resulting hit rate.
+func (p OverheadProfile) FormatDelta() string {
+	return fmt.Sprintf("deltaFires=%d deltaFallbacks=%d deltaRebases=%d deltaHitRate=%.3f",
+		p.Window.DeltaFires, p.Window.DeltaFallbacks, p.Window.DeltaRebases, p.DeltaHitRate())
 }
 
 // FormatHealth renders the window's degraded-operation counters as a
