@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/bench"
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -702,6 +703,79 @@ func BenchmarkE21DeltaPropagation(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkE22AdaptiveMaintenance measures the adaptive-maintenance
+// machinery of E22 on its steady state: mode=* sub-benchmarks run one
+// read-heavy round (100 reads, 1 write, 10-unit advance — plus one
+// controller step in adaptive mode, which has converged to triggered
+// and stays there) per iteration, so adaptive-vs-triggered is the
+// closed loop's sampling overhead on an already-optimal configuration.
+// The migrate sub-benchmark prices the live-migration primitive itself:
+// one on-demand <-> triggered round-trip (two Migrates) per iteration
+// on a subscribed item with a live dependency.
+func BenchmarkE22AdaptiveMaintenance(b *testing.B) {
+	for _, mode := range []string{"ondemand", "triggered", "adaptive"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			r, sub, _, writes, env := bench.E22System(mode)
+			defer sub.Unsubscribe()
+			vc := env.Clock().(*clock.Virtual)
+			var ctrl *adapt.Controller
+			if mode == "adaptive" {
+				ctrl = adapt.New(r, adapt.Config{Interval: 10, Hysteresis: 0.2, MinDwell: -1})
+				if err := ctrl.Track("hot", 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			round := func() {
+				for i := 0; i < 100; i++ {
+					if _, err := sub.Float(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				*writes++
+				r.FireEvent("w")
+				vc.Advance(10)
+				if ctrl != nil {
+					if _, err := ctrl.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			for i := 0; i < 10; i++ {
+				round() // converge the controller before timing
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+			b.StopTimer()
+			if v, err := sub.Float(); err != nil || v != float64(*writes)+1 {
+				b.Fatalf("hot = %v, %v; want %v", v, err, float64(*writes)+1)
+			}
+		})
+	}
+	b.Run("migrate", func(b *testing.B) {
+		r, sub, _, writes, _ := bench.E22System("ondemand")
+		defer sub.Unsubscribe()
+		*writes = 7
+		r.FireEvent("w")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.Migrate("hot", core.TriggeredMechanism, 0); err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Migrate("hot", core.OnDemandMechanism, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if v, err := sub.Float(); err != nil || v != 8 {
+			b.Fatalf("hot = %v, %v; want 8", v, err)
+		}
+	})
 }
 
 // BenchmarkSubscribeChurnParallel measures subscribe/unsubscribe churn

@@ -132,6 +132,28 @@ var experiments = map[string]struct {
 		}
 		return bench.E21Table(rows)
 	}},
+	"e22": {"closed-loop adaptive maintenance across a phase shift", func() *bench.Table {
+		elapsed := func(fn func()) int64 {
+			start := time.Now()
+			fn()
+			return time.Since(start).Nanoseconds()
+		}
+		switch *adaptFlag {
+		case "both":
+			return bench.E22Table(bench.RunE22(40, elapsed))
+		case "on":
+			return bench.E22Table([]bench.E22Row{bench.RunE22Mode("adaptive", 40, elapsed)})
+		case "off":
+			return bench.E22Table([]bench.E22Row{
+				bench.RunE22Mode("ondemand", 40, elapsed),
+				bench.RunE22Mode("triggered", 40, elapsed),
+			})
+		default:
+			fmt.Fprintln(os.Stderr, `-adapt must be "both", "on", or "off"`)
+			os.Exit(2)
+			return nil
+		}
+	}},
 	"a1": {"ablation: topological vs naive propagation", func() *bench.Table {
 		return bench.A1Table(bench.RunA1([]int{2, 4, 6, 8, 10, 12}))
 	}},
@@ -162,8 +184,13 @@ var memoFlag = flag.String("memo", "both", `e20 read-path ablation: "both", "on"
 // only the O(1) pair-apply / full-fold maintenance path.
 var deltaFlag = flag.String("delta", "both", `e21 delta-propagation ablation: "both", "on", or "off"`)
 
+// adaptFlag is the e22 adaptive-maintenance ablation: run the statics
+// and the adaptive controller, only the adaptive run, or only the two
+// static configurations.
+var adaptFlag = flag.String("adapt", "both", `e22 adaptive-maintenance ablation: "both", "on" (adaptive only), or "off" (statics only)`)
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e21, a1, c1, f2, all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e22, a1, c1, f2, all)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 

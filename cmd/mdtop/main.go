@@ -94,6 +94,8 @@ func main() {
 		st.MemoHits, st.MemoMisses, st.MemoHitRate(), st.CoalescedReads)
 	fmt.Printf("delta path: deltaFires=%d deltaFallbacks=%d deltaRebases=%d deltaHitRate=%.3f\n",
 		st.DeltaFires, st.DeltaFallbacks, st.DeltaRebases, st.DeltaHitRate())
+	fmt.Printf("adaptive: migrations=%d handlersCreated=%d handlersRemoved=%d\n",
+		st.Migrations, st.HandlersCreated, st.HandlersRemoved)
 }
 
 func must(err error) {

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := smoketest.Run(t, []string{"migration"}, main)
+	for _, want := range []string{
+		"read-heavy", "triggered",
+		"write-heavy", "on-demand",
+		"mixed under SLO", "periodic(w=100)",
+		"total live migrations: 3",
+		"correct: true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package adapt
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+)
+
+// buildLoop defines a triggered source "src" (refreshed by event "w")
+// and a migratable item "hot" = src + 1 with all three maintenance
+// forms, starting on-demand.
+func buildLoop(t *testing.T) (*core.Env, *clock.Virtual, *core.Registry, *core.Subscription) {
+	t.Helper()
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc)
+	r := env.NewRegistry("n")
+	srcVal := 5.0
+	r.MustDefine(&core.Definition{
+		Kind:   "src",
+		Events: []string{"w"},
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewTriggered(func(clock.Time) (core.Value, error) {
+				return srcVal, nil
+			}), nil
+		},
+	})
+	compute := func(ctx *core.BuildContext) core.ComputeFunc {
+		dep := ctx.Dep(0)
+		return func(clock.Time) (core.Value, error) {
+			f, err := dep.Float()
+			if err != nil {
+				return nil, err
+			}
+			return f + 1, nil
+		}
+	}
+	r.MustDefine(&core.Definition{
+		Kind: "hot",
+		Deps: []core.DepRef{core.Dep(core.Self(), "src")},
+		Adapt: &core.AdaptSpec{
+			OnDemand:  compute,
+			Triggered: compute,
+			Periodic: func(ctx *core.BuildContext) core.WindowComputeFunc {
+				dep := ctx.Dep(0)
+				return func(_, _ clock.Time) (core.Value, error) {
+					f, err := dep.Float()
+					if err != nil {
+						return nil, err
+					}
+					return f + 1, nil
+				}
+			},
+			Window: 50,
+		},
+		Build: func(ctx *core.BuildContext) (core.Handler, error) {
+			return core.NewOnDemand(compute(ctx)), nil
+		},
+	})
+	s, err := r.Subscribe("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Unsubscribe)
+	return env, vc, r, s
+}
+
+// TestControllerClosedLoop drives one item through three workload
+// phases and checks the controller live-migrates it to the mechanism
+// the cost model prescribes for each: read-heavy -> triggered,
+// write-heavy and rarely read -> on-demand, read+write-heavy under a
+// loose SLO and costly compute -> periodic at the SLO window.
+func TestControllerClosedLoop(t *testing.T) {
+	env, vc, r, s := buildLoop(t)
+	c := New(r, Config{Interval: 100, MinDwell: -1, MinWindow: 10, MaxWindow: 1000})
+	// SLO 100 and recompute cost 50: expensive enough that a periodic
+	// cadence wins when both reads and writes are hot.
+	if err := c.Track("hot", 100, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if v, err := s.Float(); err != nil || v != 6 {
+				t.Fatalf("hot = %v, %v, want 6", v, err)
+			}
+		}
+	}
+	write := func(n int) {
+		for i := 0; i < n; i++ {
+			r.FireEvent("w")
+		}
+	}
+
+	// Phase 1: hot reads, no writes. On-demand recomputes per access
+	// (rate 2*50); triggered would cost nothing.
+	read(200)
+	vc.Advance(100)
+	ms, err := c.Step()
+	if err != nil || len(ms) != 1 || ms[0].To != core.TriggeredMechanism {
+		t.Fatalf("phase 1: step = %v, %v, want migration to triggered", ms, err)
+	}
+	read(1)
+
+	// Phase 2: hot writes, almost no reads (one verification read in
+	// the interval). Triggered recomputes per input change for nobody;
+	// on-demand pays only for what is read.
+	write(300)
+	vc.Advance(100)
+	ms, err = c.Step()
+	if err != nil || len(ms) != 1 || ms[0].To != core.OnDemandMechanism {
+		t.Fatalf("phase 2: step = %v, %v, want migration to on-demand", ms, err)
+	}
+	read(1)
+
+	// Phase 3: hot reads AND hot writes. Every event-driven mechanism
+	// pays per access or per change; the 100-unit SLO admits a periodic
+	// cadence at 1/100th the cost.
+	read(200)
+	write(300)
+	vc.Advance(100)
+	ms, err = c.Step()
+	if err != nil || len(ms) != 1 || ms[0].To != core.PeriodicMechanism || ms[0].Window != 100 {
+		t.Fatalf("phase 3: step = %v, %v, want migration to periodic(100)", ms, err)
+	}
+	read(1)
+
+	if got := env.Stats().Migrations.Load(); got != 3 {
+		t.Fatalf("Migrations = %d, want 3", got)
+	}
+}
+
+// TestControllerDwellDamping checks MinDwell: a clearly beneficial
+// migration is still held back until the item has dwelled enough
+// sampling intervals, then fires.
+func TestControllerDwellDamping(t *testing.T) {
+	_, vc, r, s := buildLoop(t)
+	c := New(r, Config{Interval: 100, MinDwell: 2})
+	if err := c.Track("hot", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; ; round++ {
+		for i := 0; i < 200; i++ {
+			s.Float()
+		}
+		vc.Advance(100)
+		ms, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round < 2 {
+			if len(ms) != 0 {
+				t.Fatalf("round %d: migrated before MinDwell: %v", round, ms)
+			}
+			continue
+		}
+		if len(ms) != 1 || ms[0].To != core.TriggeredMechanism {
+			t.Fatalf("round %d: step = %v, want migration to triggered", round, ms)
+		}
+		break
+	}
+}
+
+// TestControllerTrackErrors pins Track's failure modes.
+func TestControllerTrackErrors(t *testing.T) {
+	_, _, r, _ := buildLoop(t)
+	c := New(r, Config{})
+	if err := c.Track("src", 0, 0); err == nil {
+		t.Fatal("tracking a non-migratable item succeeded")
+	}
+	if err := c.Track("ghost", 0, 0); err == nil {
+		t.Fatal("tracking an undefined item succeeded")
+	}
+}
+
+// TestPlanHysteresis pins the hysteresis damper on a near-break-even
+// workload: a candidate that is better but not better *enough* does
+// not trigger a migration.
+func TestPlanHysteresis(t *testing.T) {
+	o := Observation{
+		Kind: "x", Reads: 2.2, Updates: 2.0, Cost: 1,
+		Mech: core.OnDemandMechanism, Dwell: 100,
+	}
+	// Triggered (rate 2.0) beats on-demand (2.2), but not by 20%.
+	c := New(nil, Config{Hysteresis: 0.2, MinDwell: -1})
+	if ms := c.Plan([]Observation{o}); len(ms) != 0 {
+		t.Fatalf("plan with 20%% hysteresis = %v, want none", ms)
+	}
+	// Without hysteresis the same workload migrates.
+	c = New(nil, Config{Hysteresis: -1, MinDwell: -1}) // -1 clamps to 0
+	ms := c.Plan([]Observation{o})
+	if len(ms) != 1 || ms[0].To != core.TriggeredMechanism {
+		t.Fatalf("plan without hysteresis = %v, want migration to triggered", ms)
+	}
+}
+
+// FuzzMigrationPlan fuzzes the planner over arbitrary workload
+// observations and configurations, checking that every planned
+// migration is legal (dynamic target mechanisms only, windows positive
+// and clamped, periodic only under an SLO) and that the loop cannot
+// flap: re-planning the same workload right after applying the plan's
+// own decision yields no further migration, for any hysteresis >= 0.
+func FuzzMigrationPlan(f *testing.F) {
+	f.Add(uint16(200), uint16(1), uint8(1), uint16(0), uint8(1), uint8(0), false, uint8(20))
+	f.Add(uint16(0), uint16(300), uint8(1), uint16(0), uint8(3), uint8(0), false, uint8(0))
+	f.Add(uint16(10), uint16(10), uint8(50), uint16(100), uint8(2), uint8(50), true, uint8(20))
+	f.Add(uint16(1), uint16(1), uint8(0), uint16(5000), uint8(2), uint8(255), true, uint8(100))
+	f.Fuzz(func(t *testing.T, reads, writes uint16, cost uint8, slo uint16,
+		mech, window uint8, pure bool, hyst uint8) {
+		from := core.Mechanism(1 + mech%3)
+		o := Observation{
+			Kind:    "x",
+			Reads:   float64(reads),
+			Updates: float64(writes),
+			Cost:    float64(cost),
+			SLO:     clock.Duration(slo),
+			Mech:    from,
+			Pure:    pure,
+			Dwell:   1 << 20,
+		}
+		if from == core.PeriodicMechanism {
+			o.Window = clock.Duration(window) + 1
+		}
+		c := New(nil, Config{
+			Hysteresis: float64(hyst) / 100,
+			MinDwell:   -1,
+			MinWindow:  10,
+			MaxWindow:  1000,
+		})
+		ms := c.Plan([]Observation{o})
+		if len(ms) > 1 {
+			t.Fatalf("one observation planned %d migrations", len(ms))
+		}
+		if len(ms) == 0 {
+			return
+		}
+		m := ms[0]
+		switch m.To {
+		case core.OnDemandMechanism, core.TriggeredMechanism:
+			if m.Window != 0 {
+				t.Fatalf("non-periodic target with window %d", m.Window)
+			}
+			if m.To == from {
+				t.Fatalf("planned identity migration %v", m)
+			}
+		case core.PeriodicMechanism:
+			if o.SLO <= 0 {
+				t.Fatalf("periodic planned without a freshness SLO")
+			}
+			if m.Window < 10 || m.Window > 1000 {
+				t.Fatalf("periodic window %d outside [10, 1000]", m.Window)
+			}
+			if from == core.PeriodicMechanism && m.Window == o.Window {
+				t.Fatalf("planned identity migration %v", m)
+			}
+		default:
+			t.Fatalf("illegal target mechanism %v", m.To)
+		}
+		if m.Gain <= 0 {
+			t.Fatalf("planned migration with non-positive gain %v", m.Gain)
+		}
+		// No flapping: the configuration the plan just chose must
+		// justify itself under the same workload.
+		o.Mech = m.To
+		o.Window = m.Window
+		if again := c.Plan([]Observation{o}); len(again) != 0 {
+			t.Fatalf("flap: %v immediately re-planned as %v", m, again)
+		}
+	})
+}
+
+// TestPlanMatchesCostmodel cross-checks the planner against direct
+// costmodel evaluation on a grid of workloads: whenever Plan migrates,
+// the target must be costmodel.Choose's pick, and whenever it stays
+// put, staying must be within hysteresis of the optimum.
+func TestPlanMatchesCostmodel(t *testing.T) {
+	c := New(nil, Config{Hysteresis: 0.2, MinDwell: -1, MinWindow: 10, MaxWindow: 1000})
+	for _, reads := range []float64{0, 0.5, 2, 50} {
+		for _, writes := range []float64{0, 0.5, 2, 50} {
+			for _, slo := range []clock.Duration{0, 100} {
+				for _, from := range []core.Mechanism{core.OnDemandMechanism, core.TriggeredMechanism} {
+					o := Observation{
+						Kind: "x", Reads: reads, Updates: writes, Cost: 10,
+						SLO: slo, Mech: from, Dwell: 100,
+					}
+					w := costmodel.Workload{Reads: reads, Writes: writes, Cost: 10, SLO: slo}
+					best := costmodel.Choose(w, 10, 1000)
+					cur := w.Rate(from, 0)
+					ms := c.Plan([]Observation{o})
+					if len(ms) == 1 {
+						if ms[0].To != best.Mech || ms[0].Window != best.Window {
+							t.Fatalf("R=%v W=%v slo=%d from=%v: planned %v, costmodel says %+v",
+								reads, writes, slo, from, ms[0], best)
+						}
+					} else if best.CostRate*1.2 < cur {
+						t.Fatalf("R=%v W=%v slo=%d from=%v: no plan despite %v << %v",
+							reads, writes, slo, from, best.CostRate, cur)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/adapt"
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// E22Row is one configuration of the adaptive-maintenance phase-shift
+// experiment.
+type E22Row struct {
+	// Mode is "ondemand" or "triggered" (static mechanism pinned for
+	// the whole run) or "adaptive" (starts on-demand, controller
+	// migrates live).
+	Mode string
+	// ReadHeavyComputes / WriteHeavyComputes are the hot item's
+	// recomputes over the steady-state (second) half of each phase:
+	// phase A is 100 reads per write, phase B is 100 writes per read.
+	ReadHeavyComputes  int64
+	WriteHeavyComputes int64
+	// Migrations is the number of live migrations the controller
+	// performed over the whole run (0 for static modes).
+	Migrations int64
+	// NsPerRound is wall time per round (one read/write batch plus
+	// propagation and, in adaptive mode, the controller step),
+	// averaged over both phases.
+	NsPerRound int64
+}
+
+// E22System builds the phase-shift workload: a triggered source "src"
+// registered for event "w" publishing the running write count, and a
+// hot item "hot" = src + 1 declaring all three maintenance forms. Every
+// recompute of "hot" — through whichever mechanism currently maintains
+// it — increments computes, so the experiment counts real maintenance
+// work without touching env-wide stats. mode pins the Build mechanism:
+// "triggered" starts triggered, everything else starts on-demand.
+func E22System(mode string) (*core.Registry, *core.Subscription, *atomic.Int64, *int, *core.Env) {
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc)
+	r := env.NewRegistry("op")
+
+	writes := new(int)
+	r.MustDefine(&core.Definition{
+		Kind:   "src",
+		Events: []string{"w"},
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewTriggered(func(clock.Time) (core.Value, error) {
+				return float64(*writes), nil
+			}), nil
+		},
+	})
+
+	computes := new(atomic.Int64)
+	compute := func(ctx *core.BuildContext) core.ComputeFunc {
+		dep := ctx.Dep(0)
+		return func(clock.Time) (core.Value, error) {
+			computes.Add(1)
+			f, err := dep.Float()
+			if err != nil {
+				return nil, err
+			}
+			return f + 1, nil
+		}
+	}
+	r.MustDefine(&core.Definition{
+		Kind: "hot",
+		Deps: []core.DepRef{core.Dep(core.Self(), "src")},
+		Adapt: &core.AdaptSpec{
+			OnDemand:  compute,
+			Triggered: compute,
+			Periodic: func(ctx *core.BuildContext) core.WindowComputeFunc {
+				dep := ctx.Dep(0)
+				return func(_, _ clock.Time) (core.Value, error) {
+					computes.Add(1)
+					f, err := dep.Float()
+					if err != nil {
+						return nil, err
+					}
+					return f + 1, nil
+				}
+			},
+			Window: 100,
+		},
+		Build: func(ctx *core.BuildContext) (core.Handler, error) {
+			if mode == "triggered" {
+				return core.NewTriggered(compute(ctx)), nil
+			}
+			return core.NewOnDemand(compute(ctx)), nil
+		},
+	})
+	sub, err := r.Subscribe("hot")
+	if err != nil {
+		panic(err)
+	}
+	return r, sub, computes, writes, env
+}
+
+// RunE22 runs all three configurations of the phase-shift experiment.
+func RunE22(rounds int, elapsed func(fn func()) int64) []E22Row {
+	var rows []E22Row
+	for _, mode := range []string{"ondemand", "triggered", "adaptive"} {
+		rows = append(rows, RunE22Mode(mode, rounds, elapsed))
+	}
+	return rows
+}
+
+// RunE22Mode runs one configuration through both phases. Each phase is
+// `rounds` rounds; a round is the phase's read/write batch plus a
+// 10-unit clock advance, and in adaptive mode one controller step.
+// Computes are sampled over the second half of each phase, after the
+// controller (if any) has converged.
+func RunE22Mode(mode string, rounds int, elapsed func(fn func()) int64) E22Row {
+	r, sub, computes, writes, env := E22System(mode)
+	defer sub.Unsubscribe()
+
+	var ctrl *adapt.Controller
+	if mode == "adaptive" {
+		ctrl = adapt.New(r, adapt.Config{
+			Interval: 10, Hysteresis: 0.2, MinDwell: -1, CostHint: 1,
+		})
+		if err := ctrl.Track("hot", 0, 0); err != nil {
+			panic(err)
+		}
+	}
+	vc := env.Clock().(*clock.Virtual)
+
+	round := func(reads, writesN int) {
+		for i := 0; i < reads; i++ {
+			if _, err := sub.Float(); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < writesN; i++ {
+			*writes++
+			r.FireEvent("w")
+		}
+		vc.Advance(10)
+		if ctrl != nil {
+			if _, err := ctrl.Step(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	phase := func(reads, writesN int) int64 {
+		for i := 0; i < rounds/2; i++ {
+			round(reads, writesN)
+		}
+		start := computes.Load()
+		for i := rounds / 2; i < rounds; i++ {
+			round(reads, writesN)
+		}
+		return computes.Load() - start
+	}
+
+	var readHeavy, writeHeavy int64
+	ns := elapsed(func() {
+		readHeavy = phase(100, 1)  // phase A: 100 reads : 1 write
+		writeHeavy = phase(1, 100) // phase B: 1 read : 100 writes
+	})
+
+	// The hot value must track the source exactly through every
+	// mechanism the run passed through.
+	if v, err := sub.Float(); err != nil || v != float64(*writes)+1 {
+		panic(fmt.Sprintf("hot = %v, %v; want %v", v, err, float64(*writes)+1))
+	}
+	return E22Row{
+		Mode:               mode,
+		ReadHeavyComputes:  readHeavy,
+		WriteHeavyComputes: writeHeavy,
+		Migrations:         env.Stats().Migrations.Load(),
+		NsPerRound:         ns / int64(2*rounds),
+	}
+}
+
+// E22Table renders the adaptive-maintenance phase-shift comparison.
+func E22Table(rows []E22Row) *Table {
+	t := &Table{
+		Title:  "E22 — closed-loop adaptive maintenance: live migration across a workload phase shift",
+		Note:   "one item, two phases: 100:1 read:write then 1:100. Static on-demand recomputes per read, static triggered per write; the adaptive controller samples access economics and live-migrates, converging to the cheaper mechanism in each phase. Computes are counted over the steady second half of each phase",
+		Header: []string{"mode", "computes (read-heavy)", "computes (write-heavy)", "migrations", "ns/round"},
+	}
+	for _, r := range rows {
+		t.Add(r.Mode, r.ReadHeavyComputes, r.WriteHeavyComputes, r.Migrations, r.NsPerRound)
+	}
+	return t
+}

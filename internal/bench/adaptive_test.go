@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE22AdaptiveConvergence pins the headline claim of the adaptive
+// maintenance experiment: across the phase shift, the controller-driven
+// configuration stays within 1.2x of the best static configuration's
+// steady-state maintenance cost in BOTH phases, while each static
+// configuration loses at least 2x on its off-phase.
+func TestE22AdaptiveConvergence(t *testing.T) {
+	elapsed := func(fn func()) int64 { fn(); return 1 }
+	rows := RunE22(40, elapsed)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	od, trig, ad := rows[0], rows[1], rows[2]
+	if od.Mode != "ondemand" || trig.Mode != "triggered" || ad.Mode != "adaptive" {
+		t.Fatalf("modes = %q, %q, %q", od.Mode, trig.Mode, ad.Mode)
+	}
+
+	// Best static per phase: triggered in the read-heavy phase (one
+	// compute per write), on-demand in the write-heavy phase (one
+	// compute per read).
+	bestA, bestB := trig.ReadHeavyComputes, od.WriteHeavyComputes
+	if bestA == 0 || bestB == 0 {
+		t.Fatalf("degenerate steady-state costs: bestA=%d bestB=%d", bestA, bestB)
+	}
+	if got := ad.ReadHeavyComputes; float64(got) > 1.2*float64(bestA) {
+		t.Fatalf("adaptive read-heavy computes = %d, want <= 1.2x best static (%d)", got, bestA)
+	}
+	if got := ad.WriteHeavyComputes; float64(got) > 1.2*float64(bestB) {
+		t.Fatalf("adaptive write-heavy computes = %d, want <= 1.2x best static (%d)", got, bestB)
+	}
+
+	// Each static configuration pays dearly on its off-phase.
+	if got := od.ReadHeavyComputes; float64(got) < 2*float64(bestA) {
+		t.Fatalf("on-demand read-heavy computes = %d, want >= 2x best (%d)", got, bestA)
+	}
+	if got := trig.WriteHeavyComputes; float64(got) < 2*float64(bestB) {
+		t.Fatalf("triggered write-heavy computes = %d, want >= 2x best (%d)", got, bestB)
+	}
+
+	// The adaptive run must have actually migrated — once per phase
+	// shift at minimum — and the statics never.
+	if ad.Migrations < 2 {
+		t.Fatalf("adaptive migrations = %d, want >= 2", ad.Migrations)
+	}
+	if od.Migrations != 0 || trig.Migrations != 0 {
+		t.Fatalf("static migrations = %d, %d, want 0", od.Migrations, trig.Migrations)
+	}
+
+	var b strings.Builder
+	E22Table(rows).Fprint(&b)
+	for _, want := range []string{"E22", "adaptive", "ondemand", "triggered"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, b.String())
+		}
+	}
+}

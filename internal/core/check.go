@@ -93,8 +93,8 @@ func VerifyIntegrity(ext map[ItemKey]int, regs ...*Registry) []error {
 			}
 			if p := e.pub.Load(); p == nil {
 				bad("%s/%s: included without published handler", r.id, kind)
-			} else if p != &e.handler {
-				bad("%s/%s: published handler pointer does not match structural handler", r.id, kind)
+			} else if *p != e.handler {
+				bad("%s/%s: published handler does not match structural handler", r.id, kind)
 			}
 			if e.def == nil {
 				bad("%s/%s: included without definition", r.id, kind)

@@ -68,6 +68,15 @@ type Definition struct {
 	// declaration (i.e. a purity violation) can still be announced with
 	// Registry.NotifyChanged, which invalidates dependent memos.
 	Pure bool
+
+	// Adapt declares the item's alternative maintenance forms, enabling
+	// live mechanism migration via Registry.Migrate: the same metadata
+	// quantity expressed as an on-demand compute, a triggered compute,
+	// and/or a periodic window compute, constructed over the same
+	// resolved dependency handles the original Build saw. nil means the
+	// item is pinned to the mechanism Build chose (Migrate returns
+	// ErrNotMigratable). See migrate.go.
+	Adapt *AdaptSpec
 }
 
 // ResolveContext lets a dynamic Resolve hook inspect the inclusion
@@ -146,6 +155,9 @@ func (h *Handle) Value() (Value, error) {
 	hd := h.e.getHandler()
 	if hd == nil {
 		return nil, ErrUnsubscribed
+	}
+	if t := h.e.track.Load(); t != nil {
+		t.Add(1)
 	}
 	return hd.Value()
 }

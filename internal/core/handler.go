@@ -166,6 +166,16 @@ type onDemandHandler struct {
 	// lastGood is the latest successfully computed value, served
 	// tagged *StaleError while quarantined.
 	lastGood Value
+	// pure records whether the installed compute is a pure function of
+	// the declared dependencies (Definition.Pure at start, AdaptSpec.Pure
+	// after a migration); consulted when migration of a dependency
+	// re-decides this handler's memo engagement. Guarded by mu.
+	pure bool
+	// retired marks a handler replaced by migration: the entry stays
+	// included (readers already holding this handler still serve it),
+	// but an in-flight recovery probe must re-arm for the replacement
+	// owner instead of probing the retired compute. Guarded by mu.
+	retired bool
 }
 
 // NewOnDemand returns a handler that evaluates compute on each access.
@@ -352,8 +362,13 @@ func (h *onDemandHandler) valueMiss(ms *memoState) (Value, error) {
 // again.
 func (h *onDemandHandler) runProbe(now clock.Time) {
 	h.mu.Lock()
-	if h.e == nil {
+	if h.e == nil || h.retired {
+		// Stopped or migrated away. Report a no-op failure so the probe
+		// re-arms: after a real stop the health state is stopped and the
+		// report is inert, while after a migration the re-armed probe
+		// reaches the replacement handler (the transplanted owner).
 		h.mu.Unlock()
+		h.health.probeFailed(now, nil)
 		return
 	}
 	env := h.e.reg.env
@@ -395,10 +410,11 @@ func (h *onDemandHandler) start(e *entry) error {
 	h.e = e
 	h.deadline = e.reg.env.deadlineFor(e.def)
 	h.health = newItemHealth(e.reg.env, h)
+	h.pure = e.def != nil && e.def.Pure
 	// Engage memoization last: publishing mstate is what routes reads
 	// onto the versioned path, and the atomic store orders the fields
 	// set above before any lock-free reader can observe them.
-	if ms := newMemoState(e, h.health); ms != nil {
+	if ms := newMemoState(e, h.health, h.pure); ms != nil {
 		h.mstate.Store(ms)
 	}
 	return nil

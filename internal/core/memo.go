@@ -80,10 +80,14 @@ type memoState struct {
 // builds its read-path state, or returns nil to keep
 // recompute-per-access. Called under the component lock (depGroups are
 // stable) and after every dependency's handler has started (depth-first
-// inclusion), so dependency engagement is already decided.
-func newMemoState(e *entry, health *itemHealth) *memoState {
+// inclusion), so dependency engagement is already decided. Migration
+// re-runs this for the new handler — and for the direct dependents of a
+// migrated item, whose stampability premises may have changed — passing
+// the purity of the form currently installed (Definition.Pure for built
+// handlers, AdaptSpec.Pure after a migration to on-demand).
+func newMemoState(e *entry, health *itemHealth, pure bool) *memoState {
 	env := e.reg.env
-	if !env.memoOnDemand || e.def == nil || !e.def.Pure {
+	if !env.memoOnDemand || e.def == nil || !pure {
 		return nil
 	}
 	ms := &memoState{env: env, health: health}

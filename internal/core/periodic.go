@@ -229,7 +229,12 @@ func (h *periodicHandler) publish(now clock.Time) (e *entry, end clock.Time, ok 
 func (h *periodicHandler) runProbe(now clock.Time) {
 	h.mu.Lock()
 	if h.stopped || h.e == nil {
+		// Stopped or migrated away. Report a no-op failure so the probe
+		// re-arms: after a real stop the health state is stopped and the
+		// report is inert, while after a migration the re-armed probe
+		// reaches the replacement handler (the transplanted owner).
 		h.mu.Unlock()
+		h.health.probeFailed(now, nil)
 		return
 	}
 	env := h.env

@@ -51,11 +51,27 @@ type entry struct {
 	seq  int64
 
 	// handler is the structural reference, guarded by the component
-	// lock.
+	// lock. Migration (migrate.go) may replace it while the entry is in
+	// use.
 	handler Handler
 	// pub publishes the handler for lock-free value reads; nil before
-	// the entry commits and again once it is removed.
+	// the entry commits and again once it is removed. It points at a
+	// heap cell that is written once and never mutated: commit and
+	// migration each publish a fresh cell, so a reader that loaded the
+	// pointer may dereference it without synchronization even while a
+	// migration installs a replacement handler.
 	pub atomic.Pointer[Handler]
+
+	// bctx is the handler's build context, retained so migration can
+	// construct the replacement mechanism's compute over the same
+	// resolved dependency handles. Guarded by the component lock.
+	bctx *BuildContext
+
+	// track, when non-nil, counts value reads of this item (Handle
+	// reads and Registry.Peek) for the adaptive controller's access
+	// sampling; nil — the default — keeps the read path at a single
+	// predicted branch. Installed by Registry.TrackReads.
+	track atomic.Pointer[ShardedCounter]
 
 	refs       int
 	depGroups  [][]*entry
@@ -99,6 +115,16 @@ func (e *entry) getHandler() Handler {
 		return *p
 	}
 	return nil
+}
+
+// publishHandlerLocked publishes h for lock-free reads through a fresh
+// write-once heap cell. The component lock must be held. Readers that
+// loaded the previous cell keep a consistent view of the previous
+// handler; the cell is never mutated after this store.
+func (e *entry) publishHandlerLocked(h Handler) {
+	c := new(Handler)
+	*c = h
+	e.pub.Store(c)
 }
 
 // NewRegistry creates a registry bound to this environment. The id
@@ -293,6 +319,9 @@ func (r *Registry) Peek(kind Kind) (Value, error) {
 	h := e.getHandler()
 	if h == nil {
 		return nil, ErrUnsubscribed
+	}
+	if t := e.track.Load(); t != nil {
+		t.Add(1)
 	}
 	return h.Value()
 }
@@ -489,7 +518,8 @@ func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool
 			handleGroups[i] = append(handleGroups[i], &Handle{e: de})
 		}
 	}
-	handler, err := buildHandler(def, &BuildContext{e: e, groups: handleGroups, deps: deps})
+	bctx := &BuildContext{e: e, groups: handleGroups, deps: deps}
+	handler, err := buildHandler(def, bctx)
 	if err != nil {
 		rollback()
 		return nil, fmt.Errorf("building handler %s/%s: %w", r.id, kind, err)
@@ -519,11 +549,9 @@ func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool
 		def.Probe.Activate()
 	}
 	e.refs = 1
+	e.bctx = bctx
 	e.handler = handler
-	// Publish the handler field itself: it is written exactly once
-	// (here, before the entry becomes reachable) and never mutated, so
-	// readers may dereference the pointer without synchronization.
-	e.pub.Store(&e.handler)
+	e.publishHandlerLocked(handler)
 	r.mu.Lock()
 	r.entries[kind] = e
 	r.mu.Unlock()

@@ -94,6 +94,9 @@ type Stats struct {
 	// so the hit rate distinguishes policy from inability. Sharded:
 	// same refresh path.
 	DeltaRebases ShardedCounter
+	// Migrations counts live mechanism migrations performed by
+	// Registry.Migrate (identity no-ops excluded).
+	Migrations atomic.Int64
 }
 
 // noteQueueDelta adjusts the updater queue-depth gauge by delta (+1 per
@@ -143,6 +146,7 @@ type Snapshot struct {
 	DeltaFires           int64
 	DeltaFallbacks       int64
 	DeltaRebases         int64
+	Migrations           int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -175,6 +179,7 @@ func (s *Stats) Snapshot() Snapshot {
 		DeltaFires:           s.DeltaFires.Load(),
 		DeltaFallbacks:       s.DeltaFallbacks.Load(),
 		DeltaRebases:         s.DeltaRebases.Load(),
+		Migrations:           s.Migrations.Load(),
 	}
 }
 
@@ -211,6 +216,7 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		DeltaFires:     s.DeltaFires - t.DeltaFires,
 		DeltaFallbacks: s.DeltaFallbacks - t.DeltaFallbacks,
 		DeltaRebases:   s.DeltaRebases - t.DeltaRebases,
+		Migrations:     s.Migrations - t.Migrations,
 	}
 }
 

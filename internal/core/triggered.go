@@ -303,7 +303,12 @@ func (h *triggeredHandler) foldRefreshLocked(now clock.Time) error {
 func (h *triggeredHandler) runProbe(now clock.Time) {
 	h.mu.Lock()
 	if h.e == nil {
+		// Stopped or migrated away. Report a no-op failure so the probe
+		// re-arms: after a real stop the health state is stopped and the
+		// report is inert, while after a migration the re-armed probe
+		// reaches the replacement handler (the transplanted owner).
 		h.mu.Unlock()
+		h.health.probeFailed(now, nil)
 		return
 	}
 	env := h.e.reg.env

@@ -48,6 +48,11 @@ var (
 	// failure that tripped the breaker, so degrade-aware consumers can
 	// keep operating on the stale value.
 	ErrStale = errors.New("core: serving stale value, item quarantined")
+	// ErrNotMigratable reports a Registry.Migrate call the item cannot
+	// satisfy: no AdaptSpec on its definition, a target mechanism the
+	// spec provides no compute for, a static or delta-aggregate item, or
+	// a handler type the framework does not own.
+	ErrNotMigratable = errors.New("core: metadata item is not migratable")
 )
 
 // Float converts a numeric metadata value to float64.

@@ -1,0 +1,121 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// TestChooseThresholds pins the decision thresholds of the mechanism
+// selection model: which mechanism wins for which read/write/cost/SLO
+// regime, including the exact tie-breaking behaviour at the
+// boundaries.
+func TestChooseThresholds(t *testing.T) {
+	cases := []struct {
+		name     string
+		w        Workload
+		minW     clock.Duration
+		maxW     clock.Duration
+		mech     core.Mechanism
+		window   clock.Duration
+		costRate float64
+	}{
+		{
+			name: "hot reads, rare writes -> triggered",
+			w:    Workload{Reads: 100, Writes: 1, Cost: 1},
+			mech: core.TriggeredMechanism, costRate: 1,
+		},
+		{
+			name: "hot writes, rare reads -> on-demand",
+			w:    Workload{Reads: 1, Writes: 100, Cost: 1},
+			mech: core.OnDemandMechanism, costRate: 1,
+		},
+		{
+			name: "reads == writes tie -> on-demand (fresher wins ties)",
+			w:    Workload{Reads: 10, Writes: 10, Cost: 2},
+			mech: core.OnDemandMechanism, costRate: 20,
+		},
+		{
+			name: "pure hot both ways -> memoized on-demand at min(R,W)",
+			w:    Workload{Reads: 100, Writes: 40, Cost: 1, Pure: true},
+			mech: core.OnDemandMechanism, costRate: 40,
+		},
+		{
+			name: "pure memo ties triggered -> memo (earlier candidate)",
+			w:    Workload{Reads: 100, Writes: 5, Cost: 1, Pure: true},
+			mech: core.OnDemandMechanism, costRate: 5,
+		},
+		{
+			name: "loose SLO + costly compute -> periodic at SLO window",
+			w:    Workload{Reads: 10, Writes: 10, Cost: 50, SLO: 100},
+			minW: 10, maxW: 1000,
+			mech: core.PeriodicMechanism, window: 100, costRate: 0.5,
+		},
+		{
+			name: "SLO below floor -> window clamped up to minWindow",
+			w:    Workload{Reads: 10, Writes: 10, Cost: 50, SLO: 4},
+			minW: 10, maxW: 1000,
+			mech: core.PeriodicMechanism, window: 10, costRate: 5,
+		},
+		{
+			name: "SLO above ceiling -> window clamped down to maxWindow",
+			w:    Workload{Reads: 10, Writes: 10, Cost: 50, SLO: 5000},
+			minW: 10, maxW: 1000,
+			mech: core.PeriodicMechanism, window: 1000, costRate: 0.05,
+		},
+		{
+			name: "no SLO -> periodic inadmissible however cheap it would be",
+			w:    Workload{Reads: 10, Writes: 10, Cost: 50, SLO: 0},
+			minW: 10, maxW: 1000,
+			mech: core.OnDemandMechanism, costRate: 500,
+		},
+		{
+			name: "periodic must strictly beat event-driven: tie -> triggered",
+			// trig = 1*1 = 1; periodic = 1/1 = 1 at the clamped window.
+			w:    Workload{Reads: 5, Writes: 1, Cost: 1, SLO: 1},
+			minW: 1, maxW: 10,
+			mech: core.TriggeredMechanism, costRate: 1,
+		},
+		{
+			name: "idle item -> all rates zero, on-demand by order",
+			w:    Workload{Reads: 0, Writes: 0, Cost: 1},
+			mech: core.OnDemandMechanism, costRate: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := Choose(tc.w, tc.minW, tc.maxW)
+			if d.Mech != tc.mech || d.Window != tc.window || d.CostRate != tc.costRate {
+				t.Fatalf("Choose(%+v, %d, %d) = %+v, want {%v %d %v}",
+					tc.w, tc.minW, tc.maxW, d, tc.mech, tc.window, tc.costRate)
+			}
+		})
+	}
+}
+
+// TestWorkloadRate pins Rate, the per-mechanism cost estimator the
+// controller uses to price the CURRENT configuration (Choose prices
+// the candidates).
+func TestWorkloadRate(t *testing.T) {
+	w := Workload{Reads: 8, Writes: 2, Cost: 3}
+	if got := w.Rate(core.OnDemandMechanism, 0); got != 24 {
+		t.Errorf("on-demand rate = %v, want 24", got)
+	}
+	if got := w.Rate(core.TriggeredMechanism, 0); got != 6 {
+		t.Errorf("triggered rate = %v, want 6", got)
+	}
+	if got := w.Rate(core.PeriodicMechanism, 6); got != 0.5 {
+		t.Errorf("periodic rate = %v, want 0.5", got)
+	}
+	if got := w.Rate(core.PeriodicMechanism, 0); got != 0 {
+		t.Errorf("periodic rate at window 0 = %v, want 0", got)
+	}
+	w.Pure = true
+	if got := w.Rate(core.OnDemandMechanism, 0); got != 6 {
+		t.Errorf("memoized on-demand rate = %v, want min(R,W)*C = 6", got)
+	}
+	if got := w.Rate(core.StaticMechanism, 0); got != 0 {
+		t.Errorf("static rate = %v, want 0", got)
+	}
+}

@@ -33,6 +33,8 @@ func classify(err error) string {
 		return "cycle"
 	case errors.Is(err, core.ErrUnsubscribed):
 		return "unsubscribed"
+	case errors.Is(err, core.ErrNotMigratable):
+		return "not-migratable"
 	case errors.Is(err, core.ErrComputePanic):
 		return "compute-panic"
 	default:
@@ -111,60 +113,7 @@ func runLockstepModel(t *testing.T, label string, wl *Workload, model *Model, ex
 
 	for i, op := range wl.Ops {
 		at := fmt.Sprintf("%s op#%d (%s)", label, i, op)
-		switch op.Kind {
-		case OpSubscribe:
-			sub, err := sys.Regs[op.Reg].Subscribe(op.Item)
-			merr := model.Subscribe(op.Reg, op.Item)
-			if classify(err) != classify(merr) {
-				t.Fatalf("%s: real err %q, model err %q", at, classify(err), classify(merr))
-			}
-			if err == nil {
-				subs = append(subs, heldSub{sub: sub, key: ikey{op.Reg, op.Item}})
-			}
-		case OpUnsubscribe:
-			if len(subs) == 0 {
-				continue
-			}
-			idx := int(op.Arg) % len(subs)
-			subs[idx].sub.Unsubscribe()
-			model.Unsubscribe(subs[idx].key)
-			subs = append(subs[:idx], subs[idx+1:]...)
-		case OpAdvance:
-			sys.Clk.Advance(clock.Duration(op.Arg))
-			model.Advance(op.Arg)
-		case OpFireEvent:
-			sys.Regs[op.Reg].FireEvent(op.Event)
-			model.FireEvent(op.Reg, op.Event)
-		case OpNotifyChanged:
-			sys.Regs[op.Reg].NotifyChanged(op.Item)
-			model.NotifyChanged(op.Reg, op.Item)
-		case OpRead:
-			v, err := sys.Regs[op.Reg].Peek(op.Item)
-			mv, ok := model.Value(op.Reg, op.Item)
-			if !ok {
-				if !errors.Is(err, core.ErrUnsubscribed) {
-					t.Fatalf("%s: real (%v, %v), model not included", at, v, err)
-				}
-			} else if err != nil || v != any(mv) {
-				t.Fatalf("%s: real (%v, %v), model %v", at, v, err, mv)
-			}
-		case OpRedefine:
-			spec := wl.Item(op.Reg, op.Item)
-			err := sys.Regs[op.Reg].Define(sys.definition(op.Reg, *spec))
-			if got, want := classify(err), classify(model.Redefine(op.Reg, op.Item)); got != want {
-				t.Fatalf("%s: real err %q, model err %q", at, got, want)
-			}
-		case OpDetachModule:
-			parent := wl.Regs[op.Reg].Parent
-			err := sys.Regs[parent].DetachModule(wl.Regs[op.Reg].ModName)
-			if got, want := classify(err), classify(model.Detach(op.Reg)); got != want {
-				t.Fatalf("%s: real err %q, model err %q", at, got, want)
-			}
-		case OpAttachModule:
-			parent := wl.Regs[op.Reg].Parent
-			sys.Regs[parent].AttachModule(wl.Regs[op.Reg].ModName, sys.Regs[op.Reg])
-			model.Attach(op.Reg)
-		}
+		subs = stepOp(t, at, sys, model, op, subs)
 		compareStates(t, at, sys, model, subs)
 	}
 
@@ -175,6 +124,76 @@ func runLockstepModel(t *testing.T, label string, wl *Workload, model *Model, ex
 	}
 	checkClean(t, label+" teardown", sys)
 	checkWindowLogs(t, label, sys, nil)
+}
+
+// stepOp applies one workload op to the real system and the model in
+// lockstep, comparing error classes, and returns the updated list of
+// held external subscriptions. Shared by the plain and adaptive
+// sequential drivers.
+func stepOp(t *testing.T, at string, sys *System, model *Model, op Op, subs []heldSub) []heldSub {
+	t.Helper()
+	switch op.Kind {
+	case OpSubscribe:
+		sub, err := sys.Regs[op.Reg].Subscribe(op.Item)
+		merr := model.Subscribe(op.Reg, op.Item)
+		if classify(err) != classify(merr) {
+			t.Fatalf("%s: real err %q, model err %q", at, classify(err), classify(merr))
+		}
+		if err == nil {
+			subs = append(subs, heldSub{sub: sub, key: ikey{op.Reg, op.Item}})
+		}
+	case OpUnsubscribe:
+		if len(subs) == 0 {
+			return subs
+		}
+		idx := int(op.Arg) % len(subs)
+		subs[idx].sub.Unsubscribe()
+		model.Unsubscribe(subs[idx].key)
+		subs = append(subs[:idx], subs[idx+1:]...)
+	case OpAdvance:
+		sys.Clk.Advance(clock.Duration(op.Arg))
+		model.Advance(op.Arg)
+	case OpFireEvent:
+		sys.Regs[op.Reg].FireEvent(op.Event)
+		model.FireEvent(op.Reg, op.Event)
+	case OpNotifyChanged:
+		sys.Regs[op.Reg].NotifyChanged(op.Item)
+		model.NotifyChanged(op.Reg, op.Item)
+	case OpRead:
+		v, err := sys.Regs[op.Reg].Peek(op.Item)
+		mv, ok := model.Value(op.Reg, op.Item)
+		if !ok {
+			if !errors.Is(err, core.ErrUnsubscribed) {
+				t.Fatalf("%s: real (%v, %v), model not included", at, v, err)
+			}
+		} else if err != nil || v != any(mv) {
+			t.Fatalf("%s: real (%v, %v), model %v", at, v, err, mv)
+		}
+	case OpMigrate:
+		to := core.Mechanism(op.Arg & 0xff)
+		win := clock.Duration(op.Arg >> 8)
+		err := sys.Regs[op.Reg].Migrate(op.Item, to, win)
+		if got, want := classify(err), classify(model.Migrate(op.Reg, op.Item, to, win)); got != want {
+			t.Fatalf("%s: real err %q, model err %q", at, got, want)
+		}
+	case OpRedefine:
+		spec := sys.Wl.Item(op.Reg, op.Item)
+		err := sys.Regs[op.Reg].Define(sys.definition(op.Reg, *spec))
+		if got, want := classify(err), classify(model.Redefine(op.Reg, op.Item)); got != want {
+			t.Fatalf("%s: real err %q, model err %q", at, got, want)
+		}
+	case OpDetachModule:
+		parent := sys.Wl.Regs[op.Reg].Parent
+		err := sys.Regs[parent].DetachModule(sys.Wl.Regs[op.Reg].ModName)
+		if got, want := classify(err), classify(model.Detach(op.Reg)); got != want {
+			t.Fatalf("%s: real err %q, model err %q", at, got, want)
+		}
+	case OpAttachModule:
+		parent := sys.Wl.Regs[op.Reg].Parent
+		sys.Regs[parent].AttachModule(sys.Wl.Regs[op.Reg].ModName, sys.Regs[op.Reg])
+		model.Attach(op.Reg)
+	}
+	return subs
 }
 
 // compareStates checks full observable equivalence between the real
@@ -200,6 +219,11 @@ func compareStates(t *testing.T, at string, sys *System, model *Model, subs []he
 		t.Fatalf("%s: delta fires/fallbacks/rebases %d/%d/%d, model %d/%d/%d",
 			at, st.DeltaFires, st.DeltaFallbacks, st.DeltaRebases, mf, mfb, mr)
 	}
+	// Pin the migration count: every successful Migrate counts exactly
+	// once, identity no-ops and rejections count nothing.
+	if got, want := st.Migrations, model.Migrations(); got != want {
+		t.Fatalf("%s: %d migrations, model %d", at, got, want)
+	}
 	for ri := range sys.Wl.Regs {
 		reg := sys.Regs[ri]
 		for _, it := range sys.Wl.Regs[ri].Items {
@@ -213,6 +237,18 @@ func compareStates(t *testing.T, at string, sys *System, model *Model, subs []he
 			}
 			if got, want := reg.Refs(it.Kind), model.Refs(ri, it.Kind); got != want {
 				t.Fatalf("%s: r%d/%s refs=%d, model=%d", at, ri, it.Kind, got, want)
+			}
+			// Pin the live mechanism (and, for periodic, the window):
+			// migrations must land on the real handler exactly as the
+			// model recorded them.
+			mech, mwin, _ := model.Mechanism(ri, it.Kind)
+			if got, ok := reg.Mechanism(it.Kind); !ok || got != mech {
+				t.Fatalf("%s: r%d/%s mechanism %v (ok=%v), model %v", at, ri, it.Kind, got, ok, mech)
+			}
+			if mech == core.PeriodicMechanism {
+				if w, ok := reg.Window(it.Kind); !ok || w != mwin {
+					t.Fatalf("%s: r%d/%s window %d (ok=%v), model %d", at, ri, it.Kind, w, ok, mwin)
+				}
 			}
 			v, err := reg.Peek(it.Kind)
 			mv, _ := model.Value(ri, it.Kind)

@@ -1,0 +1,89 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMigrateWorkloadCoverage guards that the generator actually
+// exercises the migration surface: across the standard seed range the
+// workloads must contain migrate ops and both kinds of adaptable items
+// (the bit-exact pure pair and the full three-form spec). Without this,
+// a generator regression could silently turn the migration lockstep
+// vacuous.
+func TestMigrateWorkloadCoverage(t *testing.T) {
+	migOps, exact, full := 0, 0, 0
+	for seed := int64(1); seed <= 120; seed++ {
+		wl := Generate(seed, Config{Ops: 80})
+		for _, op := range wl.Ops {
+			if op.Kind == OpMigrate {
+				migOps++
+			}
+		}
+		for _, r := range wl.Regs {
+			for _, it := range r.Items {
+				switch it.Adapt {
+				case AdaptExact:
+					exact++
+				case AdaptFull:
+					full++
+				}
+			}
+		}
+	}
+	if migOps < 100 || exact == 0 || full == 0 {
+		t.Fatalf("thin migration coverage: %d migrate ops, %d AdaptExact, %d AdaptFull items",
+			migOps, exact, full)
+	}
+}
+
+// TestAdaptiveLockstep runs the closed-loop equivalence proof: a
+// per-registry adapt.Controller plans migrations from the real system's
+// sampled read/update economics, every planned migration is mirrored
+// into the reference model, and the complete observable state — exact
+// values, mechanisms, windows, migration and delta counters — must
+// match after every workload op and after every migration. The final
+// assertion guards against a vacuous pass: across the seed range the
+// controller must have actually migrated something. Reproduce one
+// failing workload with:
+//
+//	go test ./internal/modelcheck -run 'TestAdaptiveLockstep/seed=7$'
+func TestAdaptiveLockstep(t *testing.T) {
+	var applied atomic.Int64
+	t.Cleanup(func() {
+		if !t.Failed() && applied.Load() == 0 {
+			t.Errorf("no controller-planned migrations across any seed (vacuous lockstep)")
+		}
+	})
+	for seed := int64(1); seed <= 60; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			applied.Add(int64(RunSequentialAdaptive(t, seed)))
+		})
+	}
+}
+
+// TestConcurrentStressMigrations races a seeded migration storm against
+// four workload goroutines over a pool updater (run with -race): a
+// dedicated migrator live-migrates pre-subscribed adaptable items while
+// the workers subscribe, release, advance the clock, fire events, and
+// read. At quiescence the migration counter and every target's final
+// mechanism are pinned against the migrator's deterministic trajectory.
+// Reproduce one schedule's workload with:
+//
+//	go test -race ./internal/modelcheck -run 'TestConcurrentStressMigrations/seed=7$'
+func TestConcurrentStressMigrations(t *testing.T) {
+	var migrated atomic.Int64
+	t.Cleanup(func() {
+		if !t.Failed() && migrated.Load() == 0 {
+			t.Errorf("no migrations performed across any seed (vacuous stress)")
+		}
+	})
+	for seed := int64(1); seed <= 24; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			migrated.Add(RunConcurrentMigrations(t, seed, 4))
+		})
+	}
+}

@@ -66,6 +66,10 @@ type Model struct {
 	// same-boundary publishers refreshes once per instant, not k
 	// times).
 	refreshes int64
+
+	// migrations mirrors Stats.Migrations: one per successful Migrate
+	// (identity no-ops and rejected migrations count nothing).
+	migrations int64
 }
 
 // mItem is the model's entry: one included item with its resolved
@@ -76,6 +80,15 @@ type mItem struct {
 	refs       int
 	depGroups  [][]ikey
 	dependents map[ikey]int
+
+	// mech and window are the item's CURRENT maintenance mechanism and
+	// periodic window — spec.Mech/spec.Window at inclusion, updated by
+	// Migrate. Every mechanism-dependent rule below (value semantics,
+	// tick firing, propagation expansion, delta eligibility) reads
+	// these, never the spec, mirroring that core's behavior follows the
+	// live handler.
+	mech   core.Mechanism
+	window clock.Duration
 
 	val      float64    // published value (static, periodic, triggered)
 	winStart clock.Time // periodic: current window start
@@ -123,6 +136,23 @@ func (m *Model) Now() clock.Time { return m.now }
 // so far; it must equal the system's Stats.TriggerNotifications after
 // every operation (with the inline updater).
 func (m *Model) Refreshes() int64 { return m.refreshes }
+
+// Migrations returns the number of successful migrations; it must
+// equal the system's Stats.Migrations after every operation.
+func (m *Model) Migrations() int64 { return m.migrations }
+
+// Mechanism returns the item's current maintenance mechanism, and its
+// window when periodic. ok is false for excluded items.
+func (m *Model) Mechanism(ri int, kind core.Kind) (core.Mechanism, clock.Duration, bool) {
+	it, ok := m.items[ikey{ri, kind}]
+	if !ok {
+		return 0, 0, false
+	}
+	if it.mech == core.PeriodicMechanism {
+		return it.mech, it.window, true
+	}
+	return it.mech, 0, true
+}
 
 // DeltaCounters returns the mirrored delta-path counters; they must
 // equal the system's DeltaFires/DeltaFallbacks/DeltaRebases after
@@ -233,7 +263,11 @@ func (m *Model) include(ri int, kind core.Kind) (ikey, error) {
 		}
 	}
 
-	it := &mItem{spec: spec, key: k, refs: 1, cseq: cs, depGroups: groups, dependents: make(map[ikey]int)}
+	it := &mItem{
+		spec: spec, key: k, refs: 1, cseq: cs,
+		depGroups: groups, dependents: make(map[ikey]int),
+		mech: spec.Mech, window: spec.Window,
+	}
 	m.items[k] = it
 	for _, g := range groups {
 		for _, dk := range g {
@@ -252,7 +286,7 @@ func (m *Model) include(ri int, kind core.Kind) (ikey, error) {
 		it.val = spec.Base
 	case core.PeriodicMechanism:
 		it.winStart = m.now
-		it.nextFire = m.now.Add(spec.Window)
+		it.nextFire = m.now.Add(it.window)
 		it.evSeq = m.eseq // the ticker schedules the first tick now
 		m.eseq++
 		it.val = encodeWindow(m.now, m.now)
@@ -323,7 +357,7 @@ func (m *Model) Value(ri int, kind core.Kind) (float64, bool) {
 // periodic and triggered items; recomputation at the current time for
 // on-demand items (which compute on every access).
 func (m *Model) value(it *mItem) float64 {
-	if it.spec.Mech == core.OnDemandMechanism {
+	if it.mech == core.OnDemandMechanism {
 		if it.spec.Pure {
 			// Pure on-demand: no access-time term. Whether the real
 			// system recomputes or serves its memo, the value is the
@@ -364,7 +398,7 @@ func (m *Model) Advance(d int64) {
 		var fireAt clock.Time
 		found := false
 		for _, it := range m.items {
-			if it.spec.Mech != core.PeriodicMechanism || it.nextFire > target {
+			if it.mech != core.PeriodicMechanism || it.nextFire > target {
 				continue
 			}
 			if !found || it.nextFire < fireAt {
@@ -382,7 +416,7 @@ func (m *Model) Advance(d int64) {
 		// order they joined the scheduler bucket).
 		var due []*mItem
 		for _, it := range m.items {
-			if it.spec.Mech == core.PeriodicMechanism && it.nextFire <= m.now {
+			if it.mech == core.PeriodicMechanism && it.nextFire <= m.now {
 				due = append(due, it)
 			}
 		}
@@ -392,7 +426,7 @@ func (m *Model) Advance(d int64) {
 			old := it.val
 			it.val = encodeWindow(it.winStart, m.now)
 			it.winStart = m.now
-			it.nextFire = m.now.Add(it.spec.Window)
+			it.nextFire = m.now.Add(it.window)
 			it.evSeq = m.eseq // re-armed in bucket order at dispatch
 			m.eseq++
 			// The tick batch delivers every publication to the delta
@@ -449,7 +483,7 @@ func (m *Model) propagate(seeds []ikey) {
 			return
 		}
 		it := m.items[k]
-		if it.spec.Mech != core.TriggeredMechanism {
+		if it.mech != core.TriggeredMechanism {
 			return
 		}
 		affected[k] = true
@@ -524,6 +558,111 @@ func (m *Model) propagate(seeds []ikey) {
 	}
 }
 
+// Migrate mirrors Registry.Migrate: validate (same sentinel classes in
+// the same precedence — unknown/excluded items are ErrUnsubscribed,
+// everything structurally unsupported is ErrNotMigratable, and target
+// checks precede the identity no-op), then swap the item's mechanism
+// and replay the new handler's start-time effects: epoch and version
+// bumps, the initial publication per the shared value semantics,
+// dependent delta-aggregate invalidation, dependent refresh. The
+// migrated item's own publication does NOT feed the delta channel
+// (core migrates without notifyDeltaLocked; the re-anchored aggregates
+// re-fold instead).
+func (m *Model) Migrate(ri int, kind core.Kind, to core.Mechanism, window clock.Duration) error {
+	it, ok := m.items[ikey{ri, kind}]
+	if !ok {
+		return core.ErrUnsubscribed
+	}
+	spec := it.spec
+	if spec.Adapt == AdaptNone {
+		return core.ErrNotMigratable
+	}
+	if spec.Agg != "" {
+		return core.ErrNotMigratable
+	}
+	switch it.mech {
+	case core.OnDemandMechanism, core.PeriodicMechanism, core.TriggeredMechanism:
+	default:
+		return core.ErrNotMigratable
+	}
+	switch to {
+	case core.OnDemandMechanism:
+	case core.TriggeredMechanism:
+		// system.go's adaptSpec declares a triggered form only for
+		// AdaptFull items (AdaptExact keeps the bit-exact pure pair).
+		if spec.Adapt != AdaptFull {
+			return core.ErrNotMigratable
+		}
+	case core.PeriodicMechanism:
+		if window <= 0 {
+			window = spec.Window
+		}
+		if window <= 0 {
+			return core.ErrNotMigratable
+		}
+	default:
+		return core.ErrNotMigratable
+	}
+	if it.mech == to && (to != core.PeriodicMechanism || it.window == window) {
+		return nil // identity no-op: no counters, no epoch bump
+	}
+
+	// Commit: one write-epoch bump (bumpStruct) plus the migration
+	// counter, then the new mechanism's start-time state.
+	m.epoch++
+	m.migrations++
+	it.mech = to
+	switch to {
+	case core.OnDemandMechanism:
+		it.window = 0 // value recomputed at every access
+	case core.TriggeredMechanism:
+		it.window = 0
+		it.val = spec.Base + m.sumDeps(it) + 0.01*float64(m.now)
+	case core.PeriodicMechanism:
+		it.window = window
+		it.val = encodeWindow(m.now, m.now)
+		it.winStart = m.now
+		it.nextFire = m.now.Add(window)
+		it.evSeq = m.eseq // new ticker armed now
+		m.eseq++
+	}
+
+	// Dependent delta aggregates are re-anchored: accumulators
+	// invalidated, queued pairs dropped, eligibility re-decided (the
+	// model re-decides on the fly in aggEligible). The propagation
+	// below re-folds them as fallbacks.
+	for dk := range it.dependents {
+		if d := m.items[dk]; d.delta != nil {
+			d.delta.valid = false
+			d.delta.pending = 0
+		}
+	}
+	m.propagate(dependentKeys(it))
+	return nil
+}
+
+// aggEligible mirrors deltaState eligibility: the O(1) path is armed
+// only when delta propagation is on and no fan-in dependency is
+// maintained on demand (an on-demand dependency never publishes, so
+// there is no pair stream to consume). Core decides this at tracker
+// start and re-decides it in Migrate's re-anchor pass; since
+// mechanisms only change through migrations and every migration
+// re-anchors the dependent aggregates, evaluating it on the fly over
+// current mechanisms is equivalent.
+func (m *Model) aggEligible(it *mItem) bool {
+	if m.DeltaOff {
+		return false
+	}
+	for _, g := range it.depGroups {
+		for _, dk := range g {
+			if m.items[dk].mech == core.OnDemandMechanism {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Redefine mirrors Registry.Define of an identical definition: an
 // error while the item is in use, otherwise no observable change.
 func (m *Model) Redefine(ri int, kind core.Kind) error {
@@ -579,7 +718,7 @@ func (m *Model) refreshAgg(it *mItem) {
 	d := it.delta
 	pairs := d.pending
 	d.pending = 0
-	if !m.DeltaOff && d.valid && d.epoch == m.epoch &&
+	if m.aggEligible(it) && d.valid && d.epoch == m.epoch &&
 		(pairs == 0 || d.spec.Retract != nil) {
 		if d.rebase > 0 && d.applied >= d.rebase {
 			m.deltaRebases++

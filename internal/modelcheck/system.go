@@ -265,6 +265,7 @@ func (s *System) definition(ri int, it ItemSpec) *core.Definition {
 		Events: it.Events,
 		Pure:   it.Pure,
 		Delta:  delta,
+		Adapt:  adaptSpec(it),
 		Build: func(ctx *core.BuildContext) (core.Handler, error) {
 			if s.faults.panicBuild(k) {
 				panic(fmt.Sprintf("injected: build %v", k))
@@ -338,6 +339,60 @@ func (s *System) definition(ri int, it ItemSpec) *core.Definition {
 			}
 		},
 	}
+}
+
+// adaptSpec materializes the migration surface of an adaptable
+// workload item: the same deterministic value semantics as the Build
+// forms (system/model shared), constructed over the same resolved
+// dependency handles. AdaptExact omits the triggered form — its
+// 0.01·now term is not exactly representable, and AdaptExact items
+// feed delta-aggregate fan-ins that must stay bit-exact. The periodic
+// form computes plain window encodings without a WindowLog or fault
+// hooks: each migrated handler instance starts a fresh window
+// sequence, which the per-instance tiling check does not span.
+func adaptSpec(it ItemSpec) *core.AdaptSpec {
+	if it.Adapt == AdaptNone {
+		return nil
+	}
+	spec := &core.AdaptSpec{
+		OnDemand: func(ctx *core.BuildContext) core.ComputeFunc {
+			if it.Pure {
+				return func(clock.Time) (core.Value, error) {
+					v, err := sumDeps(ctx)
+					if err != nil {
+						return nil, err
+					}
+					return it.Base + v, nil
+				}
+			}
+			return func(now clock.Time) (core.Value, error) {
+				v, err := sumDeps(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return it.Base + v + 0.001*float64(now), nil
+			}
+		},
+		Periodic: func(*core.BuildContext) core.WindowComputeFunc {
+			return func(start, end clock.Time) (core.Value, error) {
+				return encodeWindow(start, end), nil
+			}
+		},
+		Window: it.Window,
+		Pure:   it.Pure,
+	}
+	if it.Adapt == AdaptFull {
+		spec.Triggered = func(ctx *core.BuildContext) core.ComputeFunc {
+			return func(now clock.Time) (core.Value, error) {
+				v, err := sumDeps(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return it.Base + v + 0.01*float64(now), nil
+			}
+		}
+	}
+	return spec
 }
 
 // encodeWindow is the canonical value a periodic workload item

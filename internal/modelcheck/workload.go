@@ -36,17 +36,44 @@ type DepSpec struct {
 	Optional bool
 }
 
+// AdaptKind classifies a workload item's migratability (its
+// Definition.Adapt surface).
+type AdaptKind int
+
+const (
+	// AdaptNone: no AdaptSpec; Migrate must reject the item.
+	AdaptNone AdaptKind = iota
+	// AdaptExact: migratable between the periodic form and a PURE
+	// on-demand form whose value is exactly Base — no time term, no
+	// dependency sum. Used for the dependency-free "k0" items so that
+	// delta-aggregate fan-ins stay exactly representable in every
+	// mechanism the item can migrate through (a triggered form's
+	// 0.01·now term would poison delta-vs-fold bit equality, so
+	// AdaptExact deliberately has no triggered form).
+	AdaptExact
+	// AdaptFull: migratable between all three dynamic mechanisms, with
+	// the standard value semantics of each form (see system.go). Never
+	// part of an aggregate fan-in.
+	AdaptFull
+)
+
 // ItemSpec declares one metadata item of a workload registry. Base is
 // the constant term of the item's deterministic compute function; the
 // full value semantics live in valueSemantics (system.go) and are
 // mirrored exactly by the model.
 type ItemSpec struct {
-	Kind   core.Kind
-	Mech   core.Mechanism
-	Window clock.Duration // periodic items only
+	Kind core.Kind
+	Mech core.Mechanism
+	// Window is the update period of periodic items, and for adaptable
+	// items also the AdaptSpec default window a migration to periodic
+	// falls back to when the op carries none.
+	Window clock.Duration
 	Deps   []DepSpec
 	Events []string
 	Base   float64
+	// Adapt declares the item's migration surface; AdaptNone items are
+	// pinned to Mech.
+	Adapt AdaptKind
 	// Pure marks an on-demand item whose compute omits the access-time
 	// term: its value is a function of the declared dependencies alone,
 	// so the real system may memoize it under WithMemoizedOnDemand.
@@ -91,6 +118,7 @@ const (
 	OpRedefine                    // re-Define (Reg, Item); fails while included
 	OpDetachModule                // detach module Reg from its parent
 	OpAttachModule                // re-attach module Reg to its parent
+	OpMigrate                     // migrate (Reg, Item) to mechanism Arg&0xff, window Arg>>8
 )
 
 // Op is one step of a workload script.
@@ -123,6 +151,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("detach r%d", o.Reg)
 	case OpAttachModule:
 		return fmt.Sprintf("attach r%d", o.Reg)
+	case OpMigrate:
+		return fmt.Sprintf("migrate r%d/%s -> mech=%d w=%d", o.Reg, o.Item, o.Arg&0xff, o.Arg>>8)
 	default:
 		return fmt.Sprintf("op(%d)", int(o.Kind))
 	}
@@ -211,6 +241,14 @@ func Generate(seed int64, cfg Config) *Workload {
 				} else {
 					it.Mech = core.PeriodicMechanism
 					it.Window = []clock.Duration{3, 5, 7, 10}[rng.Intn(4)]
+					if rng.Float64() < 0.6 {
+						// Migratable aggregate-fan-in source: periodic <->
+						// pure on-demand (value Base, an exact integer), so
+						// any aggregate folding it stays bit-exact whichever
+						// mechanism it currently runs.
+						it.Adapt = AdaptExact
+						it.Pure = true
+					}
 				}
 			} else {
 				switch p := rng.Float64(); {
@@ -241,6 +279,19 @@ func Generate(seed int64, cfg Config) *Workload {
 					it.Deps = genAggDeps(rng, w, ri)
 				} else {
 					it.Deps = genDeps(rng, w, ri, j)
+				}
+				if it.Agg == "" && it.Mech != core.StaticMechanism && rng.Float64() < 0.5 {
+					// Migratable between all three dynamic mechanisms.
+					it.Adapt = AdaptFull
+					if it.Mech != core.OnDemandMechanism {
+						// Adaptable items roll purity too: it decides the
+						// access-time term of their on-demand form (and its
+						// memo eligibility after a migration).
+						it.Pure = rng.Float64() < 0.5
+					}
+					if it.Window == 0 {
+						it.Window = []clock.Duration{3, 5, 7, 10}[rng.Intn(4)]
+					}
 				}
 			}
 			if it.Mech == core.TriggeredMechanism || rng.Float64() < 0.2 {
@@ -407,10 +458,22 @@ func genOp(rng *rand.Rand, w *Workload, cfg Config) Op {
 	case p < 0.77:
 		ri, k := randomItem()
 		return Op{Kind: OpNotifyChanged, Reg: ri, Item: k}
-	case p < 0.87:
+	case p < 0.85:
 		ri, k := randomItem()
 		return Op{Kind: OpRead, Reg: ri, Item: k}
-	case p < 0.92:
+	case p < 0.93:
+		// Live mechanism migration. The target is any random item — most
+		// draws hit migratable included items, the rest pin the error
+		// classes (not included, no AdaptSpec, aggregate, missing form).
+		// A zero window exercises the AdaptSpec default-window fallback.
+		ri, k := randomItem()
+		mech := int64(1 + rng.Intn(3))
+		var win int64
+		if rng.Float64() >= 0.3 {
+			win = int64([]clock.Duration{3, 5, 7, 10}[rng.Intn(4)])
+		}
+		return Op{Kind: OpMigrate, Reg: ri, Item: k, Arg: mech | win<<8}
+	case p < 0.96:
 		ri, k := randomItem()
 		return Op{Kind: OpRedefine, Reg: ri, Item: k}
 	default:

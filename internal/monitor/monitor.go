@@ -298,6 +298,14 @@ func (p OverheadProfile) FormatDelta() string {
 		p.Window.DeltaFires, p.Window.DeltaFallbacks, p.Window.DeltaRebases, p.DeltaHitRate())
 }
 
+// FormatAdaptive renders the window's adaptive-maintenance counters as
+// a one-line summary: live mechanism migrations and the handler churn
+// they (and subscription churn) caused.
+func (p OverheadProfile) FormatAdaptive() string {
+	return fmt.Sprintf("migrations=%d handlersCreated=%d handlersRemoved=%d",
+		p.Window.Migrations, p.Window.HandlersCreated, p.Window.HandlersRemoved)
+}
+
 // FormatHealth renders the window's degraded-operation counters as a
 // one-line summary: compute deadline hits, fenced late results,
 // breaker activity, and updater backpressure (shed scope batches plus

@@ -227,6 +227,45 @@ func TestOverheadProfileHealth(t *testing.T) {
 	}
 }
 
+func TestOverheadProfileAdaptive(t *testing.T) {
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc)
+	r := env.NewRegistry("p")
+	compute := func(*core.BuildContext) core.ComputeFunc {
+		return func(clock.Time) (core.Value, error) { return 7.0, nil }
+	}
+	r.MustDefine(&core.Definition{
+		Kind: "adaptable",
+		Adapt: &core.AdaptSpec{
+			OnDemand:  compute,
+			Triggered: compute,
+		},
+		Build: func(ctx *core.BuildContext) (core.Handler, error) {
+			return core.NewOnDemand(compute(ctx)), nil
+		},
+	})
+	sub, err := r.Subscribe("adaptable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+
+	p := NewProfiler(env)
+	if err := r.Migrate("adaptable", core.TriggeredMechanism, 0); err != nil {
+		t.Fatal(err)
+	}
+	prof := p.Stop()
+	if prof.Window.Migrations != 1 {
+		t.Fatalf("Migrations = %d, want 1", prof.Window.Migrations)
+	}
+	line := prof.FormatAdaptive()
+	for _, want := range []string{"migrations=1", "handlersCreated=1", "handlersRemoved=1"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("FormatAdaptive() = %q, missing %q", line, want)
+		}
+	}
+}
+
 func TestOverheadProfileZeroDuration(t *testing.T) {
 	var p OverheadProfile
 	if p.UpdatesPerTimeUnit() != 0 {

@@ -24,6 +24,7 @@
 package pipes
 
 import (
+	"repro/internal/adapt"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -167,6 +168,11 @@ type System struct {
 	envOpts    []core.EnvOption
 	bindings   []func(e *engine.Engine)
 	pool       core.Updater
+
+	adaptCfg   *adapt.Config
+	adaptCtrls map[*Registry]*adapt.Controller
+	adaptArmed bool
+	adaptLog   []Migration
 }
 
 // SystemOption configures a System.
