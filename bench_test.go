@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/adapt"
 	"repro/internal/bench"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/stream"
+	"repro/internal/watch"
 	"repro/pipes"
 )
 
@@ -776,6 +778,98 @@ func BenchmarkE22AdaptiveMaintenance(b *testing.B) {
 			b.Fatalf("hot = %v, %v; want 8", v, err)
 		}
 	})
+}
+
+// BenchmarkE23WatchFanout runs the watch fan-out experiment: one item,
+// watchers=* subscribers, a burst of 1000 back-to-back publications
+// per run. The callback baseline pays O(watchers) inline per publish;
+// the hub pays O(1) per publish and delivers through a constant
+// number of coalesced sweeps per burst, so callbackNsPerPublish grows
+// with the subscriber count while hubNsPerPublish amortizes toward
+// the bare publish cost.
+func BenchmarkE23WatchFanout(b *testing.B) {
+	elapsed := func(fn func()) int64 {
+		start := time.Now()
+		fn()
+		return int64(time.Since(start))
+	}
+	const publishes = 1000
+	for _, watchers := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("watchers=%d", watchers), func(b *testing.B) {
+			var cb, hub bench.E23Row
+			for i := 0; i < b.N; i++ {
+				// Interleaved A/B: baseline then hub within each
+				// iteration.
+				cb = bench.RunE23Mode("callback", watchers, publishes, elapsed)
+				hub = bench.RunE23Mode("hub", watchers, publishes, elapsed)
+				if cb.Delivered != int64(watchers*publishes) {
+					b.Fatalf("callback delivered %d, want %d", cb.Delivered, watchers*publishes)
+				}
+				if hub.Delivered < int64(watchers) {
+					b.Fatalf("hub delivered %d, want >= %d", hub.Delivered, watchers)
+				}
+			}
+			b.ReportMetric(float64(cb.NsPerPublish), "callbackNsPerPublish")
+			b.ReportMetric(float64(hub.NsPerPublish), "hubNsPerPublish")
+			b.ReportMetric(float64(cb.NsPerPublish)/float64(max64(hub.NsPerPublish, 1)), "speedup")
+		})
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkE23PublishHotPath prices what one publication costs the
+// publisher with the hub attached, steady state: watchers=0 is the
+// bare propagation plane (no sink installed — the A/B baseline for
+// the version-gate overhead), watchers=N has N subscribers with full
+// 2-slot rings, so every publication takes the complete hot path
+// (CAS-max version, dirty election, sweeper kick) plus a sweeper
+// delivery that coalesces-to-latest into the full rings. The hub adds
+// no allocations on this path: allocs/op must match the watchers=0
+// baseline (the boxing of each recomputed value, which the core pays
+// with or without a watch sink).
+func BenchmarkE23PublishHotPath(b *testing.B) {
+	for _, watchers := range []int{0, 1000} {
+		b.Run(fmt.Sprintf("watchers=%d", watchers), func(b *testing.B) {
+			env, r, publish := bench.E23System()
+			sub, err := r.Subscribe("val")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sub.Unsubscribe()
+			var h *watch.Hub
+			if watchers > 0 {
+				h = watch.NewHub(env)
+				defer h.Close()
+				for i := 0; i < watchers; i++ {
+					w, err := h.Watch(r, "val", watch.Options{Since: 1, Buffer: 2})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer w.Close()
+				}
+				// Fill every ring so steady state is the
+				// coalesce-to-latest overwrite path.
+				publish()
+				publish()
+				h.Barrier()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				publish()
+			}
+			b.StopTimer()
+			if h != nil {
+				h.Barrier()
+			}
+		})
+	}
 }
 
 // BenchmarkSubscribeChurnParallel measures subscribe/unsubscribe churn

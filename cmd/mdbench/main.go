@@ -154,6 +154,22 @@ var experiments = map[string]struct {
 			return nil
 		}
 	}},
+	"e23": {"watch fan-out: epoch-diff hub vs per-subscriber callbacks", func() *bench.Table {
+		if *watchersFlag <= 0 {
+			fmt.Fprintln(os.Stderr, "-watchers must be > 0")
+			os.Exit(2)
+		}
+		elapsed := func(fn func()) int64 {
+			start := time.Now()
+			fn()
+			return time.Since(start).Nanoseconds()
+		}
+		counts := []int{1000, 10000, *watchersFlag}
+		if *watchersFlag <= 10000 {
+			counts = []int{*watchersFlag}
+		}
+		return bench.E23Table(bench.RunE23(counts, 1000, elapsed))
+	}},
 	"a1": {"ablation: topological vs naive propagation", func() *bench.Table {
 		return bench.A1Table(bench.RunA1([]int{2, 4, 6, 8, 10, 12}))
 	}},
@@ -189,8 +205,12 @@ var deltaFlag = flag.String("delta", "both", `e21 delta-propagation ablation: "b
 // static configurations.
 var adaptFlag = flag.String("adapt", "both", `e22 adaptive-maintenance ablation: "both", "on" (adaptive only), or "off" (statics only)`)
 
+// watchersFlag is e23's largest subscriber count; counts at or below
+// 10000 run only that count, larger values run 1000/10000/N.
+var watchersFlag = flag.Int("watchers", 100000, "e23 watch fan-out subscriber count")
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e22, a1, c1, f2, all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e23, a1, c1, f2, all)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 

@@ -1,0 +1,143 @@
+// Command mdserve runs a small wall-clock demo pipeline and exposes
+// its metadata over HTTP/SSE via the watch hub — the network face of
+// the Section 2.5 monitoring story. Clients (e.g. mdtop -connect)
+// subscribe to per-item version streams and receive snapshot-then-delta
+// catch-up followed by coalesced live updates.
+//
+// Usage:
+//
+//	mdserve                      # serve on localhost:7171 until interrupted
+//	mdserve -addr :8080          # serve elsewhere
+//	mdserve -seconds 10          # serve for 10 seconds, then exit
+//
+// Endpoints: /watch?registry=N&kind=K[&since=V], /items, /stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/stream"
+	"repro/internal/watch"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7171", "listen address")
+	seconds := flag.Int("seconds", 0, "serve for this many seconds, then exit (0 = until interrupted)")
+	flag.Parse()
+
+	d, err := startDemo(*addr, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer d.Close()
+
+	if *seconds > 0 {
+		time.Sleep(time.Duration(*seconds) * time.Second)
+		return
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+}
+
+// demo is a running mdserve instance: a wall-clock pipeline, a watch
+// hub over its registries, and an HTTP server.
+type demo struct {
+	// URL is the server's base URL with the actually bound address.
+	URL string
+
+	hs      *http.Server
+	hub     *watch.Hub
+	rc      *clock.Real
+	release []func()
+}
+
+// startDemo builds the pipeline (src -> even filter -> sink, arrivals
+// every 10 ms, periodic stats once per second) and starts serving its
+// metadata on addr. The demo items are pinned by server-side
+// subscriptions so their version streams survive client churn.
+func startDemo(addr string, out io.Writer) (*demo, error) {
+	rc := clock.NewReal()
+	env := core.NewEnv(rc)
+	g := graph.New(env)
+
+	schema := stream.Schema{Name: "ticks", Fields: []stream.Field{{Name: "v", Type: "int"}}}
+	src := ops.NewSource(g, "src", schema, 0, 1000)
+	f := ops.NewFilter(g, "even", schema, func(tp stream.Tuple) bool { return tp[0].(int)%2 == 0 }, 1000)
+	sink := ops.NewSink(g, "sink", schema, nil, 0, 0, 1000)
+	g.Connect(src, f)
+	g.Connect(f, sink)
+
+	d := &demo{rc: rc}
+	for _, pin := range []struct {
+		reg  *core.Registry
+		kind core.Kind
+	}{
+		{src.Registry(), ops.KindOutputRate},
+		{f.Registry(), ops.KindInputRate},
+		{f.Registry(), ops.KindSelectivity},
+		{f.Registry(), ops.KindAvgInputRate},
+	} {
+		sub, err := pin.reg.Subscribe(pin.kind)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.release = append(d.release, sub.Unsubscribe)
+	}
+
+	// Arrivals every 10 ms, delivered straight through the operators.
+	i := 0
+	var arrive func(now clock.Time)
+	arrive = func(now clock.Time) {
+		el := src.Emit(stream.NewElement(stream.Tuple{i}, now))
+		for _, o := range f.Process(el, 0) {
+			sink.Process(o, 0)
+		}
+		i++
+		rc.After(10, arrive)
+	}
+	rc.After(10, arrive)
+
+	d.hub = watch.NewHub(env)
+	srv := watch.NewServer(d.hub, env, src.Registry(), f.Registry(), sink.Registry())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.URL = "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "mdserve: listening on %s (watch: /watch?registry=%s&kind=%s)\n",
+		d.URL, f.Registry().ID(), ops.KindInputRate)
+	d.hs = &http.Server{Handler: srv.Handler()}
+	go d.hs.Serve(ln)
+	return d, nil
+}
+
+// Close stops the HTTP server (dropping open SSE streams), the hub,
+// and the demo clock, and releases the pinned subscriptions.
+func (d *demo) Close() {
+	if d.hs != nil {
+		d.hs.Close()
+	}
+	if d.hub != nil {
+		d.hub.Close()
+	}
+	for _, rel := range d.release {
+		rel()
+	}
+	d.rc.Stop()
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/watch"
+)
+
+// TestServeSmoke boots the demo on an ephemeral port and walks the
+// HTTP surface with the SSE client: snapshot frame, item inventory,
+// and hub stats.
+func TestServeSmoke(t *testing.T) {
+	d, err := startDemo("127.0.0.1:0", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	c := watch.NewClient(d.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Registry keys carry node ids ("even#1"); discover them first.
+	items, err := c.Items(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyOf := func(name string) string {
+		for k := range items {
+			if strings.HasPrefix(k, name+"#") {
+				return k
+			}
+		}
+		t.Fatalf("items = %v, no registry named %q", items, name)
+		return ""
+	}
+	even := keyOf("even")
+	keyOf("src")
+	keyOf("sink")
+
+	st, err := c.Watch(ctx, even, "inputRate", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	f, err := st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Snapshot || f.Registry != even || f.Kind != "inputRate" || f.Version == 0 {
+		t.Fatalf("first frame = %+v, want %s/inputRate snapshot", f, even)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["Watchers"] != 1 {
+		t.Fatalf("stats Watchers = %d, want 1", stats["Watchers"])
+	}
+}

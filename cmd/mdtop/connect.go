@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/pipes"
+)
+
+// runConnect attaches mdtop to a running mdserve over HTTP/SSE and
+// prints a fixed number of watch frames followed by the server's hub
+// counters. item is "registry/kind"; when empty, the first item the
+// server advertises is watched.
+func runConnect(base, item string, frames int, since uint64, out io.Writer) error {
+	c := pipes.NewWatchClient(base)
+	ctx := context.Background()
+
+	reg, kind, ok := strings.Cut(item, "/")
+	if !ok || reg == "" || kind == "" {
+		var err error
+		reg, kind, err = firstItem(ctx, c)
+		if err != nil {
+			return err
+		}
+	}
+
+	st, err := c.Watch(ctx, reg, kind, since)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	fmt.Fprintf(out, "watching %s/%s on %s (S=snapshot C=coalesced)\n", reg, kind, base)
+	fmt.Fprintf(out, "%-2s %8s %12s\n", "", "version", "value")
+	for i := 0; i < frames; i++ {
+		f, err := st.Next()
+		if err != nil {
+			return err
+		}
+		tag := ""
+		switch {
+		case f.Snapshot:
+			tag = "S"
+		case f.Coalesced:
+			tag = "C"
+		}
+		val := f.Raw
+		if f.Numeric {
+			val = fmt.Sprintf("%.4f", f.Value)
+		}
+		if f.Err != "" {
+			val = "error: " + f.Err
+		}
+		fmt.Fprintf(out, "%-2s %8d %12s\n", tag, f.Version, val)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "watch hub: watchers=%d wakeups=%d coalescedWakeups=%d shedNotifies=%d catchUps=%d\n",
+		stats["Watchers"], stats["Wakeups"], stats["CoalescedWakeups"],
+		stats["ShedNotifies"], stats["CatchUps"])
+	return nil
+}
+
+// firstItem picks the lexicographically first registry/kind pair the
+// server advertises.
+func firstItem(ctx context.Context, c *pipes.WatchClient) (string, string, error) {
+	items, err := c.Items(ctx)
+	if err != nil {
+		return "", "", err
+	}
+	regs := make([]string, 0, len(items))
+	for reg, kinds := range items {
+		if len(kinds) > 0 {
+			regs = append(regs, reg)
+		}
+	}
+	if len(regs) == 0 {
+		return "", "", fmt.Errorf("mdtop: server advertises no watchable items")
+	}
+	sort.Strings(regs)
+	kinds := items[regs[0]]
+	sort.Strings(kinds)
+	return regs[0], kinds[0], nil
+}

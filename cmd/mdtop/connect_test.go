@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/watch"
+)
+
+// TestConnectEndToEnd points runConnect at an in-process watch server
+// and checks the printed frames and hub stat line.
+func TestConnectEndToEnd(t *testing.T) {
+	env := core.NewEnv(clock.NewVirtual())
+	r := env.NewRegistry("n1")
+	r.MustDefine(&core.Definition{
+		Kind:  "src",
+		Build: func(*core.BuildContext) (core.Handler, error) { return core.NewStatic(0.0), nil },
+	})
+	n := new(atomic.Int64)
+	r.MustDefine(&core.Definition{
+		Kind: "val",
+		Deps: []core.DepRef{core.Dep(core.Self(), "src")},
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewTriggered(func(clock.Time) (core.Value, error) {
+				return float64(n.Load()), nil
+			}), nil
+		},
+	})
+
+	h := watch.NewHub(env)
+	defer h.Close()
+	srv := httptest.NewServer(watch.NewServer(h, env, r).Handler())
+	defer srv.Close()
+
+	// Steady publications so runConnect's delta frames arrive.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			n.Add(1)
+			r.NotifyChanged("src")
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var buf bytes.Buffer
+	if err := runConnect(srv.URL, "n1/val", 3, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"watching n1/val",
+		"S ", // snapshot-tagged first frame
+		"watch hub: watchers=",
+		"catchUps=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 6 {
+		t.Fatalf("output has %d lines, want >= 6 (header + 3 frames + stats):\n%s", lines, out)
+	}
+
+	// Item discovery: empty -item picks the first advertised pair.
+	buf.Reset()
+	if err := runConnect(srv.URL, "", 1, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "watching n1/") {
+		t.Fatalf("discovery output = %q, want watching n1/...", buf.String())
+	}
+}

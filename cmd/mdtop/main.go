@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	mdtop                # run the demo for 5000 time units
-//	mdtop -until 20000   # run longer
-//	mdtop -csv           # dump the recorded series as CSV
+//	mdtop                                  # run the demo for 5000 time units
+//	mdtop -until 20000                     # run longer
+//	mdtop -csv                             # dump the recorded series as CSV
+//	mdtop -connect http://localhost:7171   # watch a running mdserve over SSE
 package main
 
 import (
@@ -25,8 +26,16 @@ func main() {
 	dot := flag.Bool("dot", false, "emit the live metadata dependency graph as Graphviz DOT")
 	wall := flag.Int("wall", 0, "run on the wall clock for this many seconds instead of the simulation")
 	jsonOut := flag.Bool("json", false, "emit a JSON snapshot of all included metadata")
+	connect := flag.String("connect", "", "attach to a running mdserve at this base URL instead of simulating")
+	item := flag.String("item", "", "with -connect: item to watch as registry/kind (default: first advertised)")
+	frames := flag.Int("frames", 5, "with -connect: number of watch frames to print")
+	since := flag.Uint64("since", 0, "with -connect: resume the watch after this version")
 	flag.Parse()
 
+	if *connect != "" {
+		must(runConnect(*connect, *item, *frames, *since, os.Stdout))
+		return
+	}
 	if *wall > 0 {
 		runWall(*wall)
 		return
@@ -96,6 +105,8 @@ func main() {
 		st.DeltaFires, st.DeltaFallbacks, st.DeltaRebases, st.DeltaHitRate())
 	fmt.Printf("adaptive: migrations=%d handlersCreated=%d handlersRemoved=%d\n",
 		st.Migrations, st.HandlersCreated, st.HandlersRemoved)
+	fmt.Printf("watch hub: watchers=%d wakeups=%d coalescedWakeups=%d shedNotifies=%d catchUps=%d\n",
+		st.Watchers, st.Wakeups, st.CoalescedWakeups, st.ShedNotifies, st.CatchUps)
 }
 
 func must(err error) {

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := smoketest.Run(t, []string{"watch"}, main)
+	for _, want := range []string{
+		"snapshot v1   queue=0",
+		"delta    v4   queue=3",
+		"disconnected at v4",
+		"snapshot v9   queue=8", // 5 missed publications, one frame
+		"delta    v10  queue=9",
+		"caught up to v110 queue=109",
+		"catchUps=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestE23FanoutShape pins the experiment's structural claims on small
+// sizes: every publication reaches every callback subscriber in the
+// baseline, the hub leaves every watcher caught up on the final
+// version, and its delivered count never exceeds the callback total.
+func TestE23FanoutShape(t *testing.T) {
+	elapsed := func(fn func()) int64 {
+		start := time.Now()
+		fn()
+		return int64(time.Since(start))
+	}
+	rows := RunE23([]int{4, 64}, 50, elapsed)
+	byMode := map[string][]E23Row{}
+	for _, r := range rows {
+		byMode[r.Mode] = append(byMode[r.Mode], r)
+	}
+	for _, r := range byMode["callback"] {
+		if want := int64(r.Watchers * r.Publishes); r.Delivered != want {
+			t.Fatalf("callback delivered %d at %d watchers, want %d", r.Delivered, r.Watchers, want)
+		}
+	}
+	for _, r := range byMode["hub"] {
+		// Each watcher sees at least the final version once, and
+		// coalescing can only reduce deliveries below the callback
+		// count.
+		if r.Delivered < int64(r.Watchers) || r.Delivered > int64(r.Watchers*r.Publishes) {
+			t.Fatalf("hub delivered %d at %d watchers, want within [%d, %d]",
+				r.Delivered, r.Watchers, r.Watchers, r.Watchers*r.Publishes)
+		}
+	}
+
+	var b strings.Builder
+	E23Table(rows).Fprint(&b)
+	for _, want := range []string{"E23", "callback", "hub", "ns/publish"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, b.String())
+		}
+	}
+}

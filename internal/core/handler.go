@@ -329,7 +329,7 @@ func (h *onDemandHandler) valueMiss(ms *memoState) (Value, error) {
 			// memo or a newer one). Pure compute errors are memoized
 			// like values — recomputing would fail identically.
 			h.memo.Store(&memoSnapshot{val: v, err: err, epoch: epoch, depVers: depVers})
-			h.e.version.Add(1)
+			h.e.bumpVersion()
 		}
 		h.mu.Unlock()
 		f.deliver(v, err)
@@ -341,7 +341,7 @@ func (h *onDemandHandler) valueMiss(ms *memoState) (Value, error) {
 		// memos stamped over this item revalidate.
 		h.memo.Store(nil)
 		if !stopped {
-			h.e.version.Add(1)
+			h.e.bumpVersion()
 		}
 		v, serr := h.lastGood, h.health.staleError()
 		h.mu.Unlock()
@@ -390,7 +390,7 @@ func (h *onDemandHandler) runProbe(now clock.Time) {
 	// served stale; bump so dependent memos stamped over it revalidate.
 	// The memo itself stays nil (dropped at the trip) — the next read
 	// recomputes with fresh stamps.
-	e.version.Add(1)
+	e.bumpVersion()
 	h.mu.Unlock()
 	if e.ndeps.Load() > 0 {
 		sc := env.lockScope(e.reg)

@@ -292,7 +292,7 @@ func (r *Registry) Migrate(kind Kind, to Mechanism, window clock.Duration) error
 	// structural bump covers plans and env-wide memo epochs.
 	e.handler = nh
 	e.publishHandlerLocked(nh)
-	e.version.Add(1)
+	e.bumpVersion()
 	bumpStruct(r)
 
 	// Re-anchor dependent delta aggregates in two phases: first drop

@@ -100,7 +100,7 @@ func (h *periodicHandler) start(e *entry) error {
 	v, err := safeWindowCompute(h.compute, now, now)
 	snap := h.snaps.put(v, err)
 	h.cur.Store(snap)
-	e.version.Add(1)
+	e.bumpVersion()
 	if err == nil {
 		h.lastGood = snap
 	}
@@ -179,7 +179,7 @@ func (h *periodicHandler) publish(now clock.Time) (e *entry, end clock.Time, ok 
 		h.health.onSuccess()
 		snap := h.snaps.put(v, err)
 		h.cur.Store(snap)
-		e.version.Add(1)
+		e.bumpVersion()
 		if err == nil && h.health != nil {
 			// lastGood is only ever served while quarantined, so the
 			// breaker-less hot path skips the pointer store (and its
@@ -207,14 +207,14 @@ func (h *periodicHandler) publish(now clock.Time) (e *entry, end clock.Time, ok 
 			lastVal = h.lastGood.val
 		}
 		h.cur.Store(h.snaps.put(lastVal, h.health.staleError()))
-		e.version.Add(1)
+		e.bumpVersion()
 		// winStart is left in place: the recovery probe recomputes the
 		// cumulative window [winStart, probe instant].
 		h.mu.Unlock()
 		return e, now, true
 	}
 	h.cur.Store(h.snaps.put(v, err))
-	e.version.Add(1)
+	e.bumpVersion()
 	h.winStart = now
 	h.mu.Unlock()
 	return e, now, true
@@ -260,7 +260,7 @@ func (h *periodicHandler) runProbe(now clock.Time) {
 	stats.PeriodicUpdates.Add(1)
 	snap := h.snaps.put(v, err)
 	h.cur.Store(snap)
-	h.e.version.Add(1)
+	h.e.bumpVersion()
 	if err == nil {
 		h.lastGood = snap
 	}

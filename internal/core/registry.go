@@ -38,6 +38,11 @@ type Registry struct {
 	entries map[Kind]*entry
 	modules map[string]*Registry
 	events  map[string]map[*entry]bool
+
+	// watchSinks holds the registered publication sinks per kind
+	// (watchgate.go), so a sink survives exclusion/re-inclusion of its
+	// item. Guarded by mu; nil until the first Watch.
+	watchSinks map[Kind]WatchSink
 }
 
 // entry pairs an in-use metadata item with its handler (1-to-1,
@@ -106,6 +111,14 @@ type entry struct {
 	// exact (see handler.go). Monotonic and never reused, so a stale
 	// stamp can never revalidate.
 	version atomic.Uint64
+
+	// watch, when non-nil, is the publication sink notified after every
+	// version bump (see watchgate.go). nil — the default — keeps the
+	// publish path at a single predicted branch over the bare bump. The
+	// cell is write-once: Watch installs a fresh cell, so a publisher
+	// that loaded it may call through without synchronization while a
+	// replacement is installed.
+	watch atomic.Pointer[WatchSink]
 }
 
 // getHandler returns the entry's handler, or nil once removed. It is
@@ -554,6 +567,9 @@ func (r *Registry) includeLocked(kind Kind, visiting map[*Registry]map[Kind]bool
 	e.publishHandlerLocked(handler)
 	r.mu.Lock()
 	r.entries[kind] = e
+	if r.watchSinks != nil {
+		r.reattachWatchLocked(e)
+	}
 	r.mu.Unlock()
 	// The new entry and its trigger edges changed the component's
 	// propagation structure; cached plans are stale.
@@ -689,7 +705,7 @@ func (r *Registry) NotifyChanged(kind Kind) {
 	if od, ok := e.getHandler().(*onDemandHandler); ok {
 		od.memo.Store(nil)
 	}
-	e.version.Add(1)
+	e.bumpVersion()
 	// The announced value is the new delta-visible truth of this edge:
 	// deliver the transition (or a poison mark for non-float values) to
 	// delta dependents before they refresh.

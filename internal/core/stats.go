@@ -97,6 +97,26 @@ type Stats struct {
 	// Migrations counts live mechanism migrations performed by
 	// Registry.Migrate (identity no-ops excluded).
 	Migrations atomic.Int64
+	// Watchers is the current number of registered watchers across all
+	// hubs on this env (a gauge, like QueueDepth: Sub keeps the newer
+	// snapshot's value instead of differencing).
+	Watchers atomic.Int64
+	// Wakeups counts sweep passes of the watch hub that processed at
+	// least one dirty item — the fan-out events that actually ran.
+	Wakeups atomic.Int64
+	// CoalescedWakeups counts publications absorbed into an already
+	// pending wakeup: the item was still marked dirty, or the sweeper
+	// kick found one armed. Sharded: it sits on the publish hot path.
+	CoalescedWakeups ShardedCounter
+	// ShedNotifies counts watch notifications dropped or overwritten by
+	// a slow consumer's full ring (coalesce-to-latest overflow). Watch
+	// delivery is sheddable in the PR 4 sense: publishers never block
+	// on watchers. Sharded: overflow can burst across sweeper and
+	// subscriber goroutines.
+	ShedNotifies ShardedCounter
+	// CatchUps counts snapshot-then-delta catch-ups delivered to late
+	// or lagging joiners (one Peek snapshot, then deltas only).
+	CatchUps atomic.Int64
 }
 
 // noteQueueDelta adjusts the updater queue-depth gauge by delta (+1 per
@@ -147,6 +167,11 @@ type Snapshot struct {
 	DeltaFallbacks       int64
 	DeltaRebases         int64
 	Migrations           int64
+	Watchers             int64
+	Wakeups              int64
+	CoalescedWakeups     int64
+	ShedNotifies         int64
+	CatchUps             int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -180,6 +205,11 @@ func (s *Stats) Snapshot() Snapshot {
 		DeltaFallbacks:       s.DeltaFallbacks.Load(),
 		DeltaRebases:         s.DeltaRebases.Load(),
 		Migrations:           s.Migrations.Load(),
+		Watchers:             s.Watchers.Load(),
+		Wakeups:              s.Wakeups.Load(),
+		CoalescedWakeups:     s.CoalescedWakeups.Load(),
+		ShedNotifies:         s.ShedNotifies.Load(),
+		CatchUps:             s.CatchUps.Load(),
 	}
 }
 
@@ -217,6 +247,12 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		DeltaFallbacks: s.DeltaFallbacks - t.DeltaFallbacks,
 		DeltaRebases:   s.DeltaRebases - t.DeltaRebases,
 		Migrations:     s.Migrations - t.Migrations,
+		// Watchers is a gauge like QueueDepth: keep the newer value.
+		Watchers:         s.Watchers,
+		Wakeups:          s.Wakeups - t.Wakeups,
+		CoalescedWakeups: s.CoalescedWakeups - t.CoalescedWakeups,
+		ShedNotifies:     s.ShedNotifies - t.ShedNotifies,
+		CatchUps:         s.CatchUps - t.CatchUps,
 	}
 }
 

@@ -91,7 +91,7 @@ func (h *triggeredHandler) start(e *entry) error {
 		snap = h.snaps.put(v, err)
 		h.cur.Store(snap)
 	}
-	e.version.Add(1)
+	e.bumpVersion()
 	if snap.err == nil {
 		h.lastGood = snap
 	}
@@ -164,7 +164,7 @@ func (h *triggeredHandler) refresh(now clock.Time) error {
 		h.health.onSuccess()
 		snap := h.snaps.put(v, err)
 		h.cur.Store(snap)
-		h.e.version.Add(1)
+		h.e.bumpVersion()
 		if err == nil && h.health != nil {
 			// lastGood is only ever served while quarantined, so the
 			// breaker-less hot path skips the pointer store (and its
@@ -183,11 +183,11 @@ func (h *triggeredHandler) refresh(now clock.Time) error {
 			lastVal = h.lastGood.val
 		}
 		h.cur.Store(h.snaps.put(lastVal, h.health.staleError()))
-		h.e.version.Add(1)
+		h.e.bumpVersion()
 		return err
 	}
 	h.cur.Store(h.snaps.put(v, err))
-	h.e.version.Add(1)
+	h.e.bumpVersion()
 	return err
 }
 
@@ -238,7 +238,7 @@ func (h *triggeredHandler) refreshDelta(now clock.Time) error {
 			// item stay exact.
 			snap := h.snaps.putFloat(ds.spec.finishAcc(acc))
 			h.cur.Store(snap)
-			h.e.version.Add(1)
+			h.e.bumpVersion()
 			if h.health != nil {
 				h.lastGood = snap
 			}
@@ -276,7 +276,7 @@ func (h *triggeredHandler) foldRefreshLocked(now clock.Time) error {
 	if err == nil || !breakerEligible(err) {
 		h.health.onSuccess()
 		snap := h.publishFoldLocked(v, err, epoch)
-		e.version.Add(1)
+		e.bumpVersion()
 		if snap.err == nil && h.health != nil {
 			h.lastGood = snap
 		}
@@ -289,11 +289,11 @@ func (h *triggeredHandler) foldRefreshLocked(now clock.Time) error {
 			lastVal = h.lastGood.val
 		}
 		h.cur.Store(h.snaps.put(lastVal, h.health.staleError()))
-		e.version.Add(1)
+		e.bumpVersion()
 		return err
 	}
 	h.cur.Store(h.snaps.put(v, err))
-	e.version.Add(1)
+	e.bumpVersion()
 	return err
 }
 
@@ -338,7 +338,7 @@ func (h *triggeredHandler) runProbe(now clock.Time) {
 	stats.TriggeredUpdates.Add(1)
 	snap := h.snaps.put(v, err)
 	h.cur.Store(snap)
-	h.e.version.Add(1)
+	h.e.bumpVersion()
 	if err == nil {
 		h.lastGood = snap
 	}

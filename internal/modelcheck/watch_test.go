@@ -1,0 +1,260 @@
+package modelcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/watch"
+)
+
+// This file checks the watch hub's delivery contract against the
+// published version stream:
+//
+//  1. monotonic — a watcher's event versions strictly increase;
+//  2. gap-free — every skipped version is flagged (Snapshot on the
+//     catch-up head, Coalesced on merged deltas), so an unflagged
+//     event is always exactly prev+1;
+//  3. bounded — no event exceeds the item's published version;
+//  4. caught up — at quiescence (publishers done, hub barrier), every
+//     open watcher's last delivered event is the item's current
+//     version.
+//
+// The sequential variant runs seeded schedules of interleaved
+// publishes, joins (random resume points and ring sizes), drains, and
+// closes. The concurrent variant (run it with -race) publishes from 4
+// workers while long-lived consumers drain concurrently and a churn
+// goroutine races subscribe/unsubscribe with tiny rings, exercising
+// the shed and coalesce paths.
+
+// watchPlane builds a registry with a static "src" and a triggered
+// "val" republishing on every src notification, pinned by an
+// application subscription so its version stream spans the whole test.
+func watchPlane(t *testing.T) (*core.Env, *core.Registry, func()) {
+	t.Helper()
+	env := core.NewEnv(clock.NewVirtual())
+	r := env.NewRegistry("w1")
+	r.MustDefine(&core.Definition{
+		Kind:  "src",
+		Build: func(*core.BuildContext) (core.Handler, error) { return core.NewStatic(0.0), nil },
+	})
+	n := new(atomic.Int64)
+	r.MustDefine(&core.Definition{
+		Kind: "val",
+		Deps: []core.DepRef{core.Dep(core.Self(), "src")},
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewTriggered(func(clock.Time) (core.Value, error) {
+				return float64(n.Load()), nil
+			}), nil
+		},
+	})
+	sub, err := r.Subscribe("val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sub.Unsubscribe)
+	return env, r, func() {
+		n.Add(1)
+		r.NotifyChanged("src")
+	}
+}
+
+// checkWatchDelivery asserts properties 1-3 on one watcher's event
+// sequence, given the version it resumed from and the final published
+// version.
+func checkWatchDelivery(t *testing.T, label string, since uint64, evs []watch.Event, final uint64) {
+	t.Helper()
+	prev := since
+	for i, ev := range evs {
+		if ev.Version <= prev {
+			t.Fatalf("%s: event %d version %d does not advance past %d", label, i, ev.Version, prev)
+		}
+		if ev.Version > final {
+			t.Fatalf("%s: event %d version %d exceeds published version %d", label, i, ev.Version, final)
+		}
+		if ev.Version > prev+1 && !ev.Snapshot && !ev.Coalesced {
+			t.Fatalf("%s: event %d jumps %d -> %d without a Snapshot/Coalesced flag", label, i, prev, ev.Version)
+		}
+		if ev.Snapshot && i != 0 {
+			t.Fatalf("%s: event %d is a Snapshot mid-stream", label, i)
+		}
+		prev = ev.Version
+	}
+}
+
+func drainW(w *watch.Watcher) []watch.Event {
+	var evs []watch.Event
+	for {
+		ev, ok := w.Poll()
+		if !ok {
+			return evs
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func TestWatchDeliverySequential(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			env, r, publish := watchPlane(t)
+			h := watch.NewHub(env)
+			defer h.Close()
+
+			type rec struct {
+				since uint64
+				evs   []watch.Event
+				w     *watch.Watcher
+			}
+			var open []*rec
+			var closed []*rec
+			published := uint64(1) // the pinning subscription published v1
+			for i := 0; i < 200; i++ {
+				switch rng.Intn(10) {
+				case 0: // join at a random resume point with a random ring
+					since := uint64(rng.Intn(int(published) + 1))
+					w, err := h.Watch(r, "val", watch.Options{Since: since, Buffer: 1 << rng.Intn(5)})
+					if err != nil {
+						t.Fatal(err)
+					}
+					open = append(open, &rec{since: since, w: w})
+				case 1: // drain everybody at a barrier
+					h.Barrier()
+					for _, rc := range open {
+						rc.evs = append(rc.evs, drainW(rc.w)...)
+					}
+				case 2: // close a random watcher (its history still checks)
+					if len(open) > 0 {
+						j := rng.Intn(len(open))
+						rc := open[j]
+						h.Barrier()
+						rc.evs = append(rc.evs, drainW(rc.w)...)
+						rc.w.Close()
+						open = append(open[:j], open[j+1:]...)
+						closed = append(closed, rc)
+					}
+				default:
+					publish()
+					published++
+				}
+			}
+
+			h.Barrier()
+			final, ok := r.ItemVersion("val")
+			if !ok || final != published {
+				t.Fatalf("published version = %d,%v, want %d", final, ok, published)
+			}
+			for i, rc := range open {
+				rc.evs = append(rc.evs, drainW(rc.w)...)
+				label := fmt.Sprintf("open[%d]", i)
+				checkWatchDelivery(t, label, rc.since, rc.evs, final)
+				// Property 4: an open watcher is caught up at quiescence.
+				last := rc.since
+				if len(rc.evs) > 0 {
+					last = rc.evs[len(rc.evs)-1].Version
+				}
+				if last != final {
+					t.Fatalf("%s: last delivered %d, want final %d", label, last, final)
+				}
+				rc.w.Close()
+			}
+			for i, rc := range closed {
+				checkWatchDelivery(t, fmt.Sprintf("closed[%d]", i), rc.since, rc.evs, final)
+			}
+		})
+	}
+}
+
+// TestWatchStressConcurrent races 4 publisher workers against three
+// long-lived consumers (one with a 1-slot ring, forcing shed and
+// coalesce-to-latest) and a subscribe/unsubscribe churn goroutine.
+// Run it with -race. After quiescence every surviving consumer's
+// history must satisfy the delivery contract and end at the final
+// published version.
+func TestWatchStressConcurrent(t *testing.T) {
+	env, r, publish := watchPlane(t)
+	h := watch.NewHub(env)
+	defer h.Close()
+
+	type consumer struct {
+		w    *watch.Watcher
+		evs  []watch.Event
+		done chan struct{}
+	}
+	mk := func(buffer int) *consumer {
+		w, err := h.Watch(r, "val", watch.Options{Buffer: buffer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &consumer{w: w, done: make(chan struct{})}
+		go func() {
+			defer close(c.done)
+			for {
+				ev, ok := c.w.Next()
+				if !ok {
+					return
+				}
+				c.evs = append(c.evs, ev)
+			}
+		}()
+		return c
+	}
+	consumers := []*consumer{mk(64), mk(4), mk(1)}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			w, err := h.Watch(r, "val", watch.Options{Buffer: 1 + rng.Intn(4)})
+			if err != nil {
+				continue
+			}
+			w.Poll()
+			w.Close()
+		}
+	}()
+
+	const workers, perWorker = 4, 250
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				publish()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+
+	h.Barrier()
+	final, ok := r.ItemVersion("val")
+	if !ok || final != workers*perWorker+1 {
+		t.Fatalf("final version = %d,%v, want %d", final, ok, workers*perWorker+1)
+	}
+	for i, c := range consumers {
+		c.w.Close()
+		<-c.done
+		c.evs = append(c.evs, drainW(c.w)...)
+		label := fmt.Sprintf("consumer[%d]", i)
+		checkWatchDelivery(t, label, 0, c.evs, final)
+		if last := c.evs[len(c.evs)-1].Version; last != final {
+			t.Fatalf("%s: last delivered %d, want final %d", label, last, final)
+		}
+	}
+}

@@ -318,6 +318,17 @@ func (p OverheadProfile) FormatHealth() string {
 		p.Window.ShedTicks, p.Window.QueueDepth, p.Window.QueueHighWater)
 }
 
+// FormatWatch renders the window's fan-out counters as a one-line
+// summary: registered watchers (a gauge: end-of-window state), sweep
+// wakeups that ran, publications coalesced into pending wakeups,
+// notifications shed onto full subscriber rings, and
+// snapshot-then-delta catch-ups.
+func (p OverheadProfile) FormatWatch() string {
+	return fmt.Sprintf("watchers=%d wakeups=%d coalescedWakeups=%d shedNotifies=%d catchUps=%d",
+		p.Window.Watchers, p.Window.Wakeups, p.Window.CoalescedWakeups,
+		p.Window.ShedNotifies, p.Window.CatchUps)
+}
+
 // Profiler captures framework overhead over a time window.
 type Profiler struct {
 	env   *core.Env

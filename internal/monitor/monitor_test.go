@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ops"
 	"repro/internal/stream"
+	"repro/internal/watch"
 )
 
 var intSchema = stream.Schema{Name: "ints", Fields: []stream.Field{{Name: "v", Type: "int"}}}
@@ -262,6 +263,39 @@ func TestOverheadProfileAdaptive(t *testing.T) {
 	for _, want := range []string{"migrations=1", "handlersCreated=1", "handlersRemoved=1"} {
 		if !strings.Contains(line, want) {
 			t.Fatalf("FormatAdaptive() = %q, missing %q", line, want)
+		}
+	}
+}
+
+func TestOverheadProfileWatch(t *testing.T) {
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc)
+	r := env.NewRegistry("p")
+	r.MustDefine(&core.Definition{
+		Kind: "item",
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewTriggered(func(clock.Time) (core.Value, error) { return 7.0, nil }), nil
+		},
+	})
+
+	p := NewProfiler(env)
+	h := watch.NewHub(env)
+	defer h.Close()
+	w, err := h.Watch(r, "item", watch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r.NotifyChanged("item")
+	h.Barrier()
+	prof := p.Stop()
+	if prof.Window.Watchers != 1 || prof.Window.CatchUps != 1 {
+		t.Fatalf("Watchers=%d CatchUps=%d, want 1/1", prof.Window.Watchers, prof.Window.CatchUps)
+	}
+	line := prof.FormatWatch()
+	for _, want := range []string{"watchers=1", "catchUps=1", "wakeups=", "coalescedWakeups=", "shedNotifies=0"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("FormatWatch() = %q, missing %q", line, want)
 		}
 	}
 }

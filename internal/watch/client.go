@@ -1,0 +1,112 @@
+package watch
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// Client consumes a Server's SSE watch streams — the library behind
+// cmd/mdtop's -connect mode. It uses only net/http.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the server at base (e.g.
+// "http://localhost:7171").
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// Stream is one live SSE watch subscription.
+type Stream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// Watch opens a watch stream on (registry, kind) resuming after since
+// (0 for snapshot-first). Cancel ctx to end the stream.
+func (c *Client) Watch(ctx context.Context, registry, kind string, since uint64) (*Stream, error) {
+	u := fmt.Sprintf("%s/watch?registry=%s&kind=%s&since=%s",
+		c.base, url.QueryEscape(registry), url.QueryEscape(kind),
+		strconv.FormatUint(since, 10))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, fmt.Errorf("watch: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &Stream{body: resp.Body, sc: sc}, nil
+}
+
+// Next blocks for the next frame. It returns io.EOF when the server
+// closes the stream and the context's error when the watch context is
+// canceled.
+func (s *Stream) Next() (Frame, error) {
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		rest, ok := bytes.CutPrefix(line, []byte("data: "))
+		if !ok {
+			continue // blank separators, comments, other SSE fields
+		}
+		return DecodeFrame(rest)
+	}
+	if err := s.sc.Err(); err != nil {
+		return Frame{}, err
+	}
+	return Frame{}, io.EOF
+}
+
+// Close ends the stream.
+func (s *Stream) Close() error { return s.body.Close() }
+
+// Items fetches the server's inventory: registry ID to defined kinds.
+func (c *Client) Items(ctx context.Context) (map[string][]string, error) {
+	var out map[string][]string
+	if err := c.getJSON(ctx, "/items", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats fetches the server's core stats snapshot as raw JSON keyed by
+// counter name.
+func (c *Client) Stats(ctx context.Context) (map[string]int64, error) {
+	var out map[string]int64
+	if err := c.getJSON(ctx, "/stats", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

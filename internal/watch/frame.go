@@ -1,0 +1,77 @@
+package watch
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Frame is the wire form of an Event: flat, comparable scalars only,
+// encoded as one JSON object per SSE data line. Numeric values travel
+// in Value with Numeric set; everything else (including NaN/Inf, which
+// JSON cannot carry) travels as its string form in Raw.
+type Frame struct {
+	Registry  string  `json:"registry"`
+	Kind      string  `json:"kind"`
+	Version   uint64  `json:"version"`
+	Numeric   bool    `json:"numeric,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Raw       string  `json:"raw,omitempty"`
+	Err       string  `json:"err,omitempty"`
+	Snapshot  bool    `json:"snapshot,omitempty"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+}
+
+// FrameOf converts an in-process event to its wire form.
+func FrameOf(ev Event) Frame {
+	f := Frame{
+		Registry:  ev.Registry,
+		Kind:      string(ev.Kind),
+		Version:   ev.Version,
+		Snapshot:  ev.Snapshot,
+		Coalesced: ev.Coalesced,
+	}
+	if ev.Err != nil {
+		f.Err = ev.Err.Error()
+	}
+	if ev.Value == nil {
+		return f
+	}
+	if x, err := core.Float(ev.Value); err == nil && !math.IsNaN(x) && !math.IsInf(x, 0) {
+		f.Numeric = true
+		f.Value = x
+		return f
+	}
+	f.Raw = fmt.Sprint(ev.Value)
+	return f
+}
+
+// EncodeFrame renders f as one JSON object. It is total: values JSON
+// cannot represent (NaN, ±Inf) are rerouted to Raw, so encoding never
+// fails.
+func EncodeFrame(f Frame) []byte {
+	if f.Numeric && (math.IsNaN(f.Value) || math.IsInf(f.Value, 0)) {
+		f.Raw = fmt.Sprint(f.Value)
+		f.Numeric = false
+		f.Value = 0
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		// Unreachable: Frame holds only marshalable scalars.
+		b, _ = json.Marshal(Frame{Registry: f.Registry, Kind: f.Kind, Version: f.Version, Err: err.Error()})
+	}
+	return b
+}
+
+// DecodeFrame parses one JSON frame. Malformed input yields an error,
+// never a panic; a decoded frame re-encodes to an equal frame
+// (round-trip fixed point, pinned by FuzzWatchFrame).
+func DecodeFrame(data []byte) (Frame, error) {
+	var f Frame
+	if err := json.Unmarshal(data, &f); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}

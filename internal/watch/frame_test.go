@@ -1,0 +1,88 @@
+package watch
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFrameOf(t *testing.T) {
+	ev := Event{Registry: "n1", Kind: "val", Version: 7, Value: 3.5, Snapshot: true}
+	f := FrameOf(ev)
+	if !f.Numeric || f.Value != 3.5 || f.Version != 7 || !f.Snapshot || f.Registry != "n1" || f.Kind != "val" {
+		t.Fatalf("FrameOf = %+v", f)
+	}
+	f = FrameOf(Event{Registry: "n1", Kind: "schema", Value: "a,b", Coalesced: true})
+	if f.Numeric || f.Raw != "a,b" || !f.Coalesced {
+		t.Fatalf("non-numeric FrameOf = %+v", f)
+	}
+	f = FrameOf(Event{Registry: "n1", Kind: "val", Err: errors.New("boom")})
+	if f.Err != "boom" {
+		t.Fatalf("error FrameOf = %+v", f)
+	}
+	f = FrameOf(Event{Registry: "n1", Kind: "val", Value: math.NaN()})
+	if f.Numeric || f.Raw == "" {
+		t.Fatalf("NaN FrameOf = %+v, want routed to Raw", f)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := Frame{Registry: "n1", Kind: "val", Version: 42, Numeric: true, Value: 1.25, Snapshot: true}
+	out, err := DecodeFrame(EncodeFrame(in))
+	if err != nil || out != in {
+		t.Fatalf("round trip = %+v, %v; want %+v", out, err, in)
+	}
+}
+
+func TestEncodeFrameTotal(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := EncodeFrame(Frame{Registry: "n1", Kind: "val", Numeric: true, Value: v})
+		f, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("encode of %v produced undecodable %q: %v", v, b, err)
+		}
+		if f.Numeric || f.Raw == "" {
+			t.Fatalf("encode of %v = %+v, want rerouted to Raw", v, f)
+		}
+	}
+}
+
+func TestDecodeFrameMalformed(t *testing.T) {
+	for _, in := range []string{"", "{", "[]", `{"version":-1}`, "\xff\xfe", `{"version":1e999}`} {
+		if _, err := DecodeFrame([]byte(in)); err == nil && in != "" {
+			// Some inputs (like {}) legitimately decode; only assert no
+			// panic, which reaching this line proves.
+			continue
+		}
+	}
+}
+
+// FuzzWatchFrame pins the codec contract: DecodeFrame never panics,
+// and any input it accepts reaches a fixed point after one round trip
+// — decode, encode, decode yields the same frame, and the re-encoded
+// bytes are stable.
+func FuzzWatchFrame(f *testing.F) {
+	f.Add([]byte(`{"registry":"n1","kind":"val","version":3,"numeric":true,"value":2.5}`))
+	f.Add([]byte(`{"registry":"n","kind":"k","version":1,"raw":"a,b","snapshot":true,"coalesced":true}`))
+	f.Add([]byte(`{"err":"boom"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte{0xff, 0xfe, 0xfd})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f1, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		b1 := EncodeFrame(f1)
+		f2, err := DecodeFrame(b1)
+		if err != nil {
+			t.Fatalf("re-decode of %q failed: %v", b1, err)
+		}
+		if f1 != f2 {
+			t.Fatalf("round trip changed frame: %+v -> %+v", f1, f2)
+		}
+		if b2 := EncodeFrame(f2); !bytes.Equal(b1, b2) {
+			t.Fatalf("encoding not a fixed point: %q -> %q", b1, b2)
+		}
+	})
+}

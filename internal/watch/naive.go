@@ -1,0 +1,75 @@
+package watch
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// NaiveHub is the ablation baseline for E23: the classic per-subscriber
+// callback fan-out. Every publication synchronously invokes every
+// subscriber's callback on the publisher's goroutine, so publish cost
+// is O(watchers) — the shape the epoch-diff hub exists to avoid. It is
+// not part of the public surface; internal/bench compares against it.
+type NaiveHub struct {
+	mu   sync.RWMutex
+	subs map[pointKey]*naivePoint
+}
+
+type naivePoint struct {
+	hub *NaiveHub
+	mu  sync.RWMutex
+	cbs []func(version uint64)
+	sub *core.Subscription
+}
+
+// Published implements core.WatchSink by calling back every subscriber
+// inline.
+func (p *naivePoint) Published(v uint64) {
+	p.mu.RLock()
+	for _, cb := range p.cbs {
+		cb(v)
+	}
+	p.mu.RUnlock()
+}
+
+// NewNaiveHub creates an empty callback hub.
+func NewNaiveHub() *NaiveHub {
+	return &NaiveHub{subs: make(map[pointKey]*naivePoint)}
+}
+
+// Subscribe registers cb to run inline on every publication of
+// (reg, kind), including the item if needed.
+func (h *NaiveHub) Subscribe(reg *core.Registry, kind core.Kind, cb func(version uint64)) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := pointKey{reg, kind}
+	p := h.subs[key]
+	if p == nil {
+		sub, err := reg.Subscribe(kind)
+		if err != nil {
+			return err
+		}
+		p = &naivePoint{hub: h, sub: sub}
+		if _, err := reg.Watch(kind, p); err != nil {
+			sub.Unsubscribe()
+			return err
+		}
+		h.subs[key] = p
+	}
+	p.mu.Lock()
+	p.cbs = append(p.cbs, cb)
+	p.mu.Unlock()
+	return nil
+}
+
+// Close uninstalls every sink and releases every pinned subscription.
+func (h *NaiveHub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for key, p := range h.subs {
+		key.reg.Unwatch(key.kind)
+		p.sub.Unsubscribe()
+		delete(h.subs, key)
+	}
+}

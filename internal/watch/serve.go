@@ -1,0 +1,149 @@
+package watch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Server exposes a Hub over HTTP with server-sent events — the
+// stdlib-only wire surface behind cmd/mdserve. Endpoints:
+//
+//	GET /watch?registry=ID&kind=K[&since=N][&buffer=N]
+//	    text/event-stream of JSON frames: one snapshot (when behind),
+//	    then deltas. The stream lives until the client disconnects.
+//	GET /items
+//	    JSON inventory: each registry with its defined item kinds.
+//	GET /stats
+//	    JSON core.Snapshot of the environment's self-metrics.
+type Server struct {
+	hub  *Hub
+	env  *core.Env
+	mu   map[string]*core.Registry
+	keys []string
+}
+
+// NewServer creates a server over hub exposing the given registries by
+// their IDs.
+func NewServer(hub *Hub, env *core.Env, regs ...*core.Registry) *Server {
+	s := &Server{hub: hub, env: env, mu: make(map[string]*core.Registry)}
+	for _, r := range regs {
+		if _, dup := s.mu[r.ID()]; !dup {
+			s.keys = append(s.keys, r.ID())
+		}
+		s.mu[r.ID()] = r
+	}
+	sort.Strings(s.keys)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/watch", s.handleWatch)
+	mux.HandleFunc("/items", s.handleItems)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleWatch(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	reg := s.mu[q.Get("registry")]
+	if reg == nil {
+		http.Error(w, fmt.Sprintf("unknown registry %q", q.Get("registry")), http.StatusNotFound)
+		return
+	}
+	kind := core.Kind(q.Get("kind"))
+	if kind == "" {
+		http.Error(w, "missing kind", http.StatusBadRequest)
+		return
+	}
+	var opt Options
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since", http.StatusBadRequest)
+			return
+		}
+		opt.Since = n
+	}
+	if v := q.Get("buffer"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad buffer", http.StatusBadRequest)
+			return
+		}
+		opt.Buffer = n
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	wt, err := s.hub.Watch(reg, kind, opt)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer wt.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := req.Context()
+	for {
+		for {
+			ev, ok := wt.Poll()
+			if !ok {
+				break
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", EncodeFrame(FrameOf(ev))); err != nil {
+				return
+			}
+		}
+		fl.Flush()
+		select {
+		case <-wt.Signal():
+		case <-wt.Done():
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// itemsReply is the /items payload: registry ID to its defined kinds.
+type itemsReply map[string][]string
+
+func (s *Server) handleItems(w http.ResponseWriter, _ *http.Request) {
+	reply := make(itemsReply, len(s.keys))
+	for _, id := range s.keys {
+		var kinds []string
+		for _, k := range s.mu[id].Available() {
+			kinds = append(kinds, string(k))
+		}
+		reply[id] = kinds
+	}
+	writeJSON(w, reply)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.env.Stats().Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

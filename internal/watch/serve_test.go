@@ -1,0 +1,135 @@
+package watch
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestServerSSEEndToEnd(t *testing.T) {
+	env, r, _, publish := testPlane(t)
+	h := NewHub(env)
+	defer h.Close()
+	srv := httptest.NewServer(NewServer(h, env, r).Handler())
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	st, err := c.Watch(ctx, "n1", "val", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Snapshot head: the watch included the item (publishing v1) and
+	// the fresh stream is behind.
+	f, err := st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Snapshot || f.Version != 1 || f.Registry != "n1" || f.Kind != "val" {
+		t.Fatalf("first frame = %+v, want n1/val snapshot v1", f)
+	}
+
+	publish()
+	f, err = st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Snapshot || f.Version != 2 || !f.Numeric || f.Value != 1 {
+		t.Fatalf("delta frame = %+v, want v2 value 1", f)
+	}
+
+	items, err := c.Items(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds := items["n1"]; len(kinds) != 2 {
+		t.Fatalf("items[n1] = %v, want [src val]", kinds)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["Watchers"] != 1 {
+		t.Fatalf("stats Watchers = %d, want 1", stats["Watchers"])
+	}
+	if stats["CatchUps"] < 1 {
+		t.Fatalf("stats CatchUps = %d, want >= 1", stats["CatchUps"])
+	}
+}
+
+func TestServerWatchErrors(t *testing.T) {
+	env, r, _, _ := testPlane(t)
+	h := NewHub(env)
+	defer h.Close()
+	srv := httptest.NewServer(NewServer(h, env, r).Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	for _, tc := range []struct{ reg, kind string }{
+		{"nope", "val"},   // unknown registry
+		{"n1", ""},        // missing kind
+		{"n1", "missing"}, // unknown item
+	} {
+		if _, err := c.Watch(ctx, tc.reg, tc.kind, 0); err == nil {
+			t.Fatalf("Watch(%q, %q) succeeded", tc.reg, tc.kind)
+		}
+	}
+}
+
+func TestServerResume(t *testing.T) {
+	env, r, _, publish := testPlane(t)
+	h := NewHub(env)
+	defer h.Close()
+	srv := httptest.NewServer(NewServer(h, env, r).Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	// Pin the item for the whole test: publication versions are
+	// per-entry-lifetime, and without an application subscription the
+	// hub's pin is the only one — a disconnect would release the entry
+	// and restart its version stream.
+	sub, err := r.Subscribe("val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+
+	// First connection: snapshot, then disconnect after noting the
+	// version.
+	st, err := c.Watch(ctx, "n1", "val", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	seen := f.Version
+
+	// Activity while disconnected.
+	publish()
+	publish()
+	h.Barrier()
+
+	// Resume with since=seen: one snapshot covering the gap, nothing
+	// replayed.
+	st2, err := c.Watch(ctx, "n1", "val", seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	f2, err := st2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Snapshot || f2.Version != seen+2 {
+		t.Fatalf("resume frame = %+v, want snapshot v%d", f2, seen+2)
+	}
+}

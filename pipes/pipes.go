@@ -173,6 +173,10 @@ type System struct {
 	adaptCtrls map[*Registry]*adapt.Controller
 	adaptArmed bool
 	adaptLog   []Migration
+
+	// hub is the system's watch fan-out hub, created on first use (see
+	// watch.go).
+	hub *WatchHub
 }
 
 // SystemOption configures a System.

@@ -1,0 +1,65 @@
+package pipes
+
+import (
+	"repro/internal/core"
+	"repro/internal/watch"
+)
+
+// Re-exported watch types, so applications only import pipes.
+type (
+	// Watcher is one watch subscriber's bounded delivery queue.
+	Watcher = watch.Watcher
+	// WatchEvent is one in-process watch notification.
+	WatchEvent = watch.Event
+	// WatchOptions configure a watch registration (resume version and
+	// ring capacity).
+	WatchOptions = watch.Options
+	// WatchFrame is the JSON/SSE wire form of a watch event.
+	WatchFrame = watch.Frame
+	// WatchHub is the epoch-diff fan-out hub behind Stream.Watch.
+	WatchHub = watch.Hub
+	// WatchServer exposes a hub over HTTP/SSE (see cmd/mdserve).
+	WatchServer = watch.Server
+	// WatchClient consumes a WatchServer's SSE streams.
+	WatchClient = watch.Client
+)
+
+// MetaValue is a metadata item's value as carried in a WatchEvent.
+type MetaValue = core.Value
+
+// FloatOf converts a watched metadata value to float64.
+func FloatOf(v MetaValue) (float64, error) { return core.Float(v) }
+
+// NewWatchClient creates a client for a WatchServer at base, e.g.
+// "http://localhost:7171".
+func NewWatchClient(base string) *WatchClient { return watch.NewClient(base) }
+
+// WatchHub returns the system's fan-out hub, creating it (and its
+// sweeper goroutine) on first use. All Stream.Watch registrations
+// share it, so any number of publications per instant cost one
+// coalesced wakeup sweep. Close it when the process is done watching.
+func (s *System) WatchHub() *WatchHub {
+	if s.hub == nil {
+		s.hub = watch.NewHub(s.env)
+	}
+	return s.hub
+}
+
+// Watch registers a watcher on one of the node's metadata items: the
+// watcher receives an event whenever the item publishes a new version,
+// with snapshot-then-delta catch-up when it joins (or resumes) behind
+// the item's current version. Watching includes the item like
+// Subscribe would; closing the last watcher releases it.
+func (st *Stream) Watch(kind Kind, opt WatchOptions) (*Watcher, error) {
+	return st.sys.WatchHub().Watch(st.node.Registry(), kind, opt)
+}
+
+// NewWatchServer builds an HTTP/SSE server over the system's hub
+// exposing every node's registry by node name.
+func (s *System) NewWatchServer() *WatchServer {
+	regs := make([]*Registry, 0)
+	for _, n := range s.graph.Nodes() {
+		regs = append(regs, n.Registry())
+	}
+	return watch.NewServer(s.WatchHub(), s.env, regs...)
+}

@@ -1,0 +1,44 @@
+package pipes
+
+import (
+	"testing"
+)
+
+func TestWatchThroughFacade(t *testing.T) {
+	sys := NewSystem(WithStatWindow(50))
+	src := sys.Source("src", intSchema, NewConstantRate(0, 5, 0), 0)
+	f := src.Filter("f", func(Tuple) bool { return true })
+	f.Sink("out", nil)
+
+	w, err := f.Watch(KindInputRate, WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if sys.WatchHub() != sys.WatchHub() {
+		t.Fatal("WatchHub is not a singleton")
+	}
+	defer sys.WatchHub().Close()
+
+	sys.Run(500)
+	sys.WatchHub().Barrier()
+
+	var last WatchEvent
+	n := 0
+	for {
+		ev, ok := w.Poll()
+		if !ok {
+			break
+		}
+		if ev.Version <= last.Version && n > 0 {
+			t.Fatalf("versions not increasing: %d after %d", ev.Version, last.Version)
+		}
+		last, n = ev, n+1
+	}
+	if n == 0 {
+		t.Fatal("watcher saw no events")
+	}
+	if v, err := FloatOf(last.Value); err != nil || v != 0.2 {
+		t.Fatalf("last watched inputRate = %v (%v), want 0.2", v, err)
+	}
+}
