@@ -959,3 +959,35 @@ func BenchmarkProbeOverhead(b *testing.B) {
 }
 
 var _ = stream.NewConstantRate
+
+// BenchmarkE24Recovery runs the durable-restart experiment: each
+// iteration seeds a durable plane of 1000 subscribed items, then times
+// a cold start (subscribe + inline compute per item before the first
+// read) against a warm start (checkpoint load, re-pin, serve every
+// pre-shutdown value stale with zero computes). The headline metric is
+// the warm/cold speedup of time-to-first-read.
+func BenchmarkE24Recovery(b *testing.B) {
+	elapsed := func(fn func()) int64 {
+		start := time.Now()
+		fn()
+		return int64(time.Since(start))
+	}
+	const items = 1000
+	var cold, warm bench.E24Row
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunE24(b.TempDir(), items, elapsed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cold, warm = rows[0], rows[1]
+		if cold.Computes < items {
+			b.Fatalf("cold computed %d times, want >= %d", cold.Computes, items)
+		}
+		if warm.Computes != 0 || warm.Restored != items {
+			b.Fatalf("warm computes=%d restored=%d, want 0/%d", warm.Computes, warm.Restored, items)
+		}
+	}
+	b.ReportMetric(float64(cold.NsTotal), "coldNsToFirstRead")
+	b.ReportMetric(float64(warm.NsTotal), "warmNsToFirstRead")
+	b.ReportMetric(float64(cold.NsTotal)/float64(max64(warm.NsTotal, 1)), "speedup")
+}

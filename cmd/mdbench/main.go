@@ -170,6 +170,25 @@ var experiments = map[string]struct {
 		}
 		return bench.E23Table(bench.RunE23(counts, 1000, elapsed))
 	}},
+	"e24": {"durable restart: warm recovery vs cold recompute", func() *bench.Table {
+		elapsed := func(fn func()) int64 {
+			start := time.Now()
+			fn()
+			return time.Since(start).Nanoseconds()
+		}
+		dir, err := os.MkdirTemp("", "mdbench-e24-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		rows, err := bench.RunE24(dir, *itemsFlag, elapsed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return bench.E24Table(rows)
+	}},
 	"a1": {"ablation: topological vs naive propagation", func() *bench.Table {
 		return bench.A1Table(bench.RunA1([]int{2, 4, 6, 8, 10, 12}))
 	}},
@@ -209,8 +228,11 @@ var adaptFlag = flag.String("adapt", "both", `e22 adaptive-maintenance ablation:
 // 10000 run only that count, larger values run 1000/10000/N.
 var watchersFlag = flag.Int("watchers", 100000, "e23 watch fan-out subscriber count")
 
+// itemsFlag is e24's durable-plane size (subscribed items per start).
+var itemsFlag = flag.Int("items", 1000, "e24 durable restart item count")
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e23, a1, c1, f2, all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e24, a1, c1, f2, all)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 

@@ -9,11 +9,20 @@
 //	mdserve                      # serve on localhost:7171 until interrupted
 //	mdserve -addr :8080          # serve elsewhere
 //	mdserve -seconds 10          # serve for 10 seconds, then exit
+//	mdserve -durable ./mdstate   # persist the metadata plane; restarts
+//	                             # recover topology + last-good values
+//
+// With -durable, SIGINT/SIGTERM triggers a graceful shutdown: the HTTP
+// server drains open SSE streams under a deadline and a final
+// checkpoint is written, so a restarted mdserve resumes with the same
+// pins and version streams (since-based watch catch-up keeps working
+// across the restart).
 //
 // Endpoints: /watch?registry=N&kind=K[&since=V], /items, /stats.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,12 +30,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/persist"
 	"repro/internal/stream"
 	"repro/internal/watch"
 )
@@ -34,26 +45,29 @@ import (
 func main() {
 	addr := flag.String("addr", "localhost:7171", "listen address")
 	seconds := flag.Int("seconds", 0, "serve for this many seconds, then exit (0 = until interrupted)")
+	durable := flag.String("durable", "", "directory for the durable metadata plane (empty = in-memory only)")
 	flag.Parse()
 
-	d, err := startDemo(*addr, os.Stdout)
+	d, err := startDemo(*addr, *durable, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer d.Close()
 
 	if *seconds > 0 {
 		time.Sleep(time.Duration(*seconds) * time.Second)
+		d.Shutdown(os.Stdout)
 		return
 	}
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
+	d.Shutdown(os.Stdout)
 }
 
 // demo is a running mdserve instance: a wall-clock pipeline, a watch
-// hub over its registries, and an HTTP server.
+// hub over its registries, an HTTP server, and (optionally) a durable
+// metadata plane.
 type demo struct {
 	// URL is the server's base URL with the actually bound address.
 	URL string
@@ -61,16 +75,28 @@ type demo struct {
 	hs      *http.Server
 	hub     *watch.Hub
 	rc      *clock.Real
+	plane   *persist.Plane
 	release []func()
 }
 
 // startDemo builds the pipeline (src -> even filter -> sink, arrivals
 // every 10 ms, periodic stats once per second) and starts serving its
 // metadata on addr. The demo items are pinned by server-side
-// subscriptions so their version streams survive client churn.
-func startDemo(addr string, out io.Writer) (*demo, error) {
+// subscriptions so their version streams survive client churn. When
+// dir is non-empty the metadata plane is durable: a prior instance's
+// checkpoint + WAL are recovered first (re-creating its pins, with
+// checkpointed items serving last-good values until recomputed), and
+// the demo pins are only made on a fresh directory — a recovered plane
+// already carries them.
+func startDemo(addr, dir string, out io.Writer) (*demo, error) {
 	rc := clock.NewReal()
-	env := core.NewEnv(rc)
+	var envOpts []core.EnvOption
+	if dir != "" {
+		// Recovery serves checkpointed values through quarantine, which
+		// needs the breaker machinery armed.
+		envOpts = append(envOpts, core.WithBreaker(core.DefaultBreakerPolicy))
+	}
+	env := core.NewEnv(rc, envOpts...)
 	g := graph.New(env)
 
 	schema := stream.Schema{Name: "ticks", Fields: []stream.Field{{Name: "v", Type: "int"}}}
@@ -81,21 +107,38 @@ func startDemo(addr string, out io.Writer) (*demo, error) {
 	g.Connect(f, sink)
 
 	d := &demo{rc: rc}
-	for _, pin := range []struct {
-		reg  *core.Registry
-		kind core.Kind
-	}{
-		{src.Registry(), ops.KindOutputRate},
-		{f.Registry(), ops.KindInputRate},
-		{f.Registry(), ops.KindSelectivity},
-		{f.Registry(), ops.KindAvgInputRate},
-	} {
-		sub, err := pin.reg.Subscribe(pin.kind)
+	recovered := false
+	if dir != "" {
+		plane, rs, err := persist.Open(env, dir, persist.Options{},
+			src.Registry(), f.Registry(), sink.Registry())
 		if err != nil {
 			d.Close()
 			return nil, err
 		}
-		d.release = append(d.release, sub.Unsubscribe)
+		d.plane = plane
+		recovered = rs.Subscribed > 0
+		if rs.Recovered {
+			fmt.Fprintf(out, "mdserve: recovered plane from %s (ckpt seq %d, %d WAL records, %d subs, %d items restored stale)\n",
+				dir, rs.CheckpointSeq, rs.WALRecords, rs.Subscribed, rs.Restored)
+		}
+	}
+	if !recovered {
+		for _, pin := range []struct {
+			reg  *core.Registry
+			kind core.Kind
+		}{
+			{src.Registry(), ops.KindOutputRate},
+			{f.Registry(), ops.KindInputRate},
+			{f.Registry(), ops.KindSelectivity},
+			{f.Registry(), ops.KindAvgInputRate},
+		} {
+			sub, err := pin.reg.Subscribe(pin.kind)
+			if err != nil {
+				d.Close()
+				return nil, err
+			}
+			d.release = append(d.release, sub.Unsubscribe)
+		}
 	}
 
 	// Arrivals every 10 ms, delivered straight through the operators.
@@ -127,8 +170,44 @@ func startDemo(addr string, out io.Writer) (*demo, error) {
 	return d, nil
 }
 
-// Close stops the HTTP server (dropping open SSE streams), the hub,
-// and the demo clock, and releases the pinned subscriptions.
+// Shutdown stops the demo gracefully: the hub closes first (ending
+// open SSE loops so the HTTP server can drain), the server gets a 2 s
+// drain deadline before being cut, and — when durable — a final
+// checkpoint is written so the next start resumes exactly here.
+func (d *demo) Shutdown(out io.Writer) {
+	if d.hub != nil {
+		d.hub.Close() // wakes every SSE handler via its Done channel
+		d.hub = nil
+	}
+	if d.hs != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := d.hs.Shutdown(ctx); err != nil {
+			d.hs.Close()
+		}
+		cancel()
+		d.hs = nil
+	}
+	// Close the plane before releasing pins: the final checkpoint must
+	// carry the pinned subscriptions (and Close detaches the journal,
+	// so the releases below are not recorded as unsubscribes).
+	if d.plane != nil {
+		if err := d.plane.Close(); err != nil {
+			fmt.Fprintf(out, "mdserve: final checkpoint failed: %v\n", err)
+		} else {
+			fmt.Fprintln(out, "mdserve: final checkpoint written")
+		}
+		d.plane = nil
+	}
+	for _, rel := range d.release {
+		rel()
+	}
+	d.release = nil
+	d.rc.Stop()
+}
+
+// Close stops everything abruptly (dropping open SSE streams, no final
+// checkpoint) — the error-path cleanup; tests use it to simulate a
+// crash of a durable instance.
 func (d *demo) Close() {
 	if d.hs != nil {
 		d.hs.Close()
@@ -138,6 +217,9 @@ func (d *demo) Close() {
 	}
 	for _, rel := range d.release {
 		rel()
+	}
+	if d.plane != nil {
+		d.plane.Abandon()
 	}
 	d.rc.Stop()
 }

@@ -64,6 +64,11 @@ func runConnect(base, item string, frames int, since uint64, out io.Writer) erro
 	fmt.Fprintf(out, "watch hub: watchers=%d wakeups=%d coalescedWakeups=%d shedNotifies=%d catchUps=%d\n",
 		stats["Watchers"], stats["Wakeups"], stats["CoalescedWakeups"],
 		stats["ShedNotifies"], stats["CatchUps"])
+	if stats["WALRecords"]+stats["Checkpoints"]+stats["Recoveries"] > 0 {
+		fmt.Fprintf(out, "durability: walRecords=%d walBytes=%d checkpoints=%d checkpointAt=%d recoveries=%d restoredStale=%d\n",
+			stats["WALRecords"], stats["WALBytes"], stats["Checkpoints"],
+			stats["CheckpointAt"], stats["Recoveries"], stats["RestoredStale"])
+	}
 	return nil
 }
 

@@ -107,6 +107,14 @@ func main() {
 		st.Migrations, st.HandlersCreated, st.HandlersRemoved)
 	fmt.Printf("watch hub: watchers=%d wakeups=%d coalescedWakeups=%d shedNotifies=%d catchUps=%d\n",
 		st.Watchers, st.Wakeups, st.CoalescedWakeups, st.ShedNotifies, st.CatchUps)
+	if st.WALRecords+st.Checkpoints+st.Recoveries > 0 {
+		age := int64(-1)
+		if st.CheckpointAt > 0 {
+			age = int64(sys.Now()) - st.CheckpointAt
+		}
+		fmt.Printf("durability: walRecords=%d walBytes=%d checkpoints=%d checkpointAge=%d recoveries=%d restoredStale=%d\n",
+			st.WALRecords, st.WALBytes, st.Checkpoints, age, st.Recoveries, st.RestoredStale)
+	}
 }
 
 func must(err error) {

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// E24 — durable restart: time-to-first-read after a process start.
+// Cold start pays one full compute per subscribed item before the
+// first read can be served; a warm start recovers the checkpointed
+// plane and serves every item's pre-shutdown last-good value (tagged
+// ErrStale) without computing anything, deferring recomputation to the
+// background probe machinery.
+
+// E24Row is one start mode at one plane size.
+type E24Row struct {
+	// Mode is "cold" (fresh plane, every value computed inline) or
+	// "warm" (recovered plane, every value served from the checkpoint).
+	Mode string
+	// Items is the number of subscribed metadata items.
+	Items int
+	// NsTotal is process-start to last-item-read: subscribe+compute for
+	// cold, recovery (checkpoint load + re-pin + restore) for warm.
+	NsTotal int64
+	// NsPerItem is NsTotal / Items.
+	NsPerItem int64
+	// Computes counts metadata compute calls inside the timed window —
+	// Items for cold, 0 for warm (the whole point).
+	Computes int64
+	// Restored counts items served from the checkpoint (warm only).
+	Restored int64
+}
+
+// e24Spin is the per-item compute cost in loop iterations (~190 us) —
+// stands in for the windowed statistics fold a real metadata compute
+// pays, e.g. re-aggregating a large rate window from scratch.
+const e24Spin = 400000
+
+var e24CodecOnce sync.Once
+
+// e24Codec registers the benchmark's definition codec: args is
+// "idx,spin" and the rebuilt item computes float64(idx) after spinning.
+func e24Codec() {
+	e24CodecOnce.Do(func() {
+		persist.RegisterCodec("bench.cell", func(args string) (*core.Definition, error) {
+			idxs, spins, ok := strings.Cut(args, ",")
+			if !ok {
+				return nil, fmt.Errorf("bad args %q", args)
+			}
+			idx, err := strconv.Atoi(idxs)
+			if err != nil {
+				return nil, err
+			}
+			spin, err := strconv.Atoi(spins)
+			if err != nil {
+				return nil, err
+			}
+			return e24Definition(idx, spin), nil
+		})
+	})
+}
+
+func e24Definition(idx, spin int) *core.Definition {
+	compute := func(clock.Time) (core.Value, error) {
+		acc := 0.0
+		for i := 0; i < spin; i++ {
+			acc += math.Sqrt(float64(i))
+		}
+		_ = acc
+		return float64(idx), nil
+	}
+	return &core.Definition{
+		Kind:        core.Kind(fmt.Sprintf("cell%d", idx)),
+		Persist:     "bench.cell",
+		PersistArgs: fmt.Sprintf("%d,%d", idx, spin),
+		Build: func(*core.BuildContext) (core.Handler, error) {
+			return core.NewTriggered(compute), nil
+		},
+	}
+}
+
+// e24Env builds the process-start state both modes share: a
+// breaker-armed env and a registry with items codec-backed definitions
+// already registered (node constructors run before recovery).
+func e24Env(items int) (*core.Env, *core.Registry) {
+	e24Codec()
+	env := core.NewEnv(clock.NewVirtual(), core.WithBreaker(core.DefaultBreakerPolicy))
+	r := env.NewRegistry("op")
+	for i := 0; i < items; i++ {
+		r.MustDefine(e24Definition(i, e24Spin))
+	}
+	return env, r
+}
+
+// e24Seed runs one durable "first life" to completion: subscribe every
+// item, checkpoint, shut down cleanly. The directory then holds what a
+// restarted process finds.
+func e24Seed(dir string, items int) error {
+	env, r := e24Env(items)
+	plane, _, err := persist.Open(env, dir, persist.Options{Sync: persist.SyncNone}, r)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < items; i++ {
+		if _, err := r.Subscribe(core.Kind(fmt.Sprintf("cell%d", i))); err != nil {
+			return err
+		}
+	}
+	return plane.Close()
+}
+
+// RunE24Mode times one start mode. Cold subscribes every item on a
+// fresh plane (each subscribe computes inline before the item is
+// readable); warm opens the seeded directory and recovery re-pins and
+// restores every item from the checkpoint. Both end with a read of
+// every item — cold reads fresh values, warm reads the pre-shutdown
+// values tagged stale.
+func RunE24Mode(mode, dir string, items int, elapsed func(fn func()) int64) (E24Row, error) {
+	env, r := e24Env(items)
+	row := E24Row{Mode: mode, Items: items}
+	start := env.Stats().Snapshot()
+	readAll := func() error {
+		for i := 0; i < items; i++ {
+			v, err := r.Peek(core.Kind(fmt.Sprintf("cell%d", i)))
+			if err != nil && !errors.Is(err, core.ErrStale) {
+				return fmt.Errorf("cell%d: %w", i, err)
+			}
+			if f, ok := v.(float64); !ok || f != float64(i) {
+				return fmt.Errorf("cell%d = %v, want %d", i, v, i)
+			}
+		}
+		return nil
+	}
+	var err error
+	switch mode {
+	case "cold":
+		row.NsTotal = elapsed(func() {
+			for i := 0; i < items && err == nil; i++ {
+				_, err = r.Subscribe(core.Kind(fmt.Sprintf("cell%d", i)))
+			}
+			if err == nil {
+				err = readAll()
+			}
+		})
+	case "warm":
+		var rs *persist.RecoveryStats
+		row.NsTotal = elapsed(func() {
+			_, rs, err = persist.Open(env, dir, persist.Options{Sync: persist.SyncNone}, r)
+			if err == nil {
+				err = readAll()
+			}
+		})
+		if rs != nil {
+			row.Restored = int64(rs.Restored)
+		}
+	default:
+		err = fmt.Errorf("E24: unknown mode %q", mode)
+	}
+	if err != nil {
+		return row, err
+	}
+	row.NsPerItem = row.NsTotal / int64(items)
+	row.Computes = env.Stats().Snapshot().Sub(start).ComputeCalls
+	return row, nil
+}
+
+// RunE24 seeds a durable plane of the given size in dir and times a
+// cold start against a warm (recovered) start of the same topology.
+func RunE24(dir string, items int, elapsed func(fn func()) int64) ([]E24Row, error) {
+	if err := e24Seed(dir, items); err != nil {
+		return nil, err
+	}
+	cold, err := RunE24Mode("cold", dir, items, elapsed)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := RunE24Mode("warm", dir, items, elapsed)
+	if err != nil {
+		return nil, err
+	}
+	return []E24Row{cold, warm}, nil
+}
+
+// E24Table renders the restart comparison.
+func E24Table(rows []E24Row) *Table {
+	t := &Table{
+		Title:  "E24 — durable restart: warm recovery vs cold recompute",
+		Note:   "time from process start to every subscribed item readable. Cold pays one inline compute per item before first read; warm loads the checkpoint, re-pins every subscription, and serves each item's pre-shutdown last-good value (tagged stale, recomputed later in the background), so its start cost is decode + republish instead of compute",
+		Header: []string{"mode", "items", "ns total", "ns/item", "computes", "restored"},
+	}
+	for _, r := range rows {
+		t.Add(r.Mode, r.Items, r.NsTotal, r.NsPerItem, r.Computes, r.Restored)
+	}
+	return t
+}

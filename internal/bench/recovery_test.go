@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestE24RecoveryShape pins the experiment's structural claims at a
+// small size: cold start computes every item, warm start computes
+// nothing and serves every item from the checkpoint.
+func TestE24RecoveryShape(t *testing.T) {
+	elapsed := func(fn func()) int64 {
+		start := time.Now()
+		fn()
+		return int64(time.Since(start))
+	}
+	rows, err := RunE24(t.TempDir(), 50, elapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]E24Row{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	cold, warm := byMode["cold"], byMode["warm"]
+	if cold.Items != 50 || warm.Items != 50 {
+		t.Fatalf("rows = %+v, want both modes at 50 items", rows)
+	}
+	if cold.Computes < 50 {
+		t.Fatalf("cold computed %d times, want >= one per item", cold.Computes)
+	}
+	if warm.Computes != 0 {
+		t.Fatalf("warm computed %d times, want 0 (served from checkpoint)", warm.Computes)
+	}
+	if warm.Restored != 50 {
+		t.Fatalf("warm restored %d items, want 50", warm.Restored)
+	}
+
+	var b strings.Builder
+	E24Table(rows).Fprint(&b)
+	for _, want := range []string{"E24", "cold", "warm", "ns/item"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, b.String())
+		}
+	}
+}

@@ -69,6 +69,19 @@ type Definition struct {
 	// Registry.NotifyChanged, which invalidates dependent memos.
 	Pure bool
 
+	// Persist names the registered persistence codec able to rebuild
+	// this definition at recovery time (internal/persist.RegisterCodec).
+	// Go functions do not serialize, so a definition is durable only by
+	// naming a codec that reconstructs it from PersistArgs. Empty — the
+	// default — means the definition is not journaled: it is expected to
+	// be re-registered by application code (node constructors) before
+	// recovery replays the structural log.
+	Persist string
+
+	// PersistArgs is an opaque argument string handed to the Persist
+	// codec at recovery time.
+	PersistArgs string
+
 	// Adapt declares the item's alternative maintenance forms, enabling
 	// live mechanism migration via Registry.Migrate: the same metadata
 	// quantity expressed as an on-demand compute, a triggered compute,

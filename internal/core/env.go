@@ -90,6 +90,18 @@ type Env struct {
 	// tickMu guards the dispatch-side grouping scratch in batch.go.
 	tickMu     sync.Mutex
 	tickGroups []tickGroup
+
+	// journal, when non-nil, receives every structural mutation in
+	// commit order (see journal.go). The pointer-to-interface cell keeps
+	// the no-journal hot path at one atomic load.
+	journal atomic.Pointer[Journal]
+
+	// restorePending, when non-nil, is the recovery-time predicate
+	// consulted by handler start paths: items it claims skip their
+	// initial compute and publish ErrNoValue, pending a RestoreStale
+	// that re-publishes the checkpointed last-good value (see
+	// restore.go). Installed only for the duration of a recovery replay.
+	restorePending atomic.Pointer[func(*Registry, Kind) bool]
 }
 
 // EnvOption configures an Env.
@@ -218,6 +230,11 @@ func (e *Env) Now() clock.Time { return e.clk.Now() }
 // structural operations — the metadata state is stable and can be
 // compared against a reference model.
 func (e *Env) Quiesce() { e.updater.WaitIdle() }
+
+// HasBreaker reports whether circuit-breaker quarantine is enabled
+// (WithBreaker). Recovery uses it to decide whether restored items can
+// be parked in the quarantine-backed stale-serving state.
+func (e *Env) HasBreaker() bool { return e.breaker != nil }
 
 // nextSeq returns the next entry creation sequence number.
 func (e *Env) nextSeq() int64 { return e.seq.Add(1) }

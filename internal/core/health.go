@@ -264,6 +264,28 @@ func (ih *itemHealth) onFailure(now clock.Time, err error) (tripped bool) {
 	return true
 }
 
+// forceQuarantine administratively trips the breaker at now with the
+// given cause — no failure history required — and arms the first
+// recovery probe on the policy's initial backoff. Used by crash
+// recovery (restore.go) to park restored items in the stale-serving
+// state; deliberately not counted in Stats.BreakerTrips, which counts
+// failure-driven trips. A no-op if the breaker is already open.
+func (ih *itemHealth) forceQuarantine(now clock.Time, cause error) {
+	if ih == nil {
+		return
+	}
+	ih.mu.Lock()
+	defer ih.mu.Unlock()
+	if ih.stopped || ih.state == Quarantined || ih.state == Probing {
+		return
+	}
+	ih.setStateLocked(Quarantined)
+	ih.cause = cause
+	ih.since = now
+	ih.backoff = ih.policy.ProbeBackoff
+	ih.armProbeLocked(now)
+}
+
 // staleError returns the *StaleError to publish for the current
 // quarantine. Must be called after onFailure tripped (or while
 // quarantined).

@@ -344,6 +344,16 @@ func (r *Registry) Migrate(kind Kind, to Mechanism, window clock.Duration) error
 
 	// Dependents refresh against the new mechanism's published value.
 	r.propagateLocked(e, now)
+
+	// Journal the committed migration (identity no-ops returned early
+	// and are never recorded); replaying it at recovery reproduces the
+	// item's final mechanism. The window is only meaningful for
+	// periodic targets.
+	jw := clock.Duration(0)
+	if to == PeriodicMechanism {
+		jw = window
+	}
+	env.journalRecord(JournalOp{Op: JournalMigrate, Registry: r.id, Kind: kind, To: to, Window: jw})
 	return nil
 }
 

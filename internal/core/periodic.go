@@ -93,16 +93,25 @@ func (h *periodicHandler) start(e *entry) error {
 	h.async = env.async
 	h.deadline = env.deadlineFor(e.def)
 	h.health = newItemHealth(env, h)
-	env.Stats().ComputeCalls.Add(1)
-	// The initial compute runs on the subscriber's goroutine (possibly
-	// the clock-advancing one), where a deadline wait could never be
-	// released; deadlines apply to maintenance computes only.
-	v, err := safeWindowCompute(h.compute, now, now)
-	snap := h.snaps.put(v, err)
-	h.cur.Store(snap)
-	e.bumpVersion()
-	if err == nil {
-		h.lastGood = snap
+	if env.restorePendingFor(e.reg, e.kind) {
+		// Recovery replay: skip the initial compute — RestoreStale will
+		// re-publish the checkpointed last-good value before the plane is
+		// exposed — but still arm the boundary cadence below so an item
+		// that turns out to have no checkpoint snapshot updates normally.
+		h.cur.Store(h.snaps.put(nil, ErrNoValue))
+		e.bumpVersion()
+	} else {
+		env.Stats().ComputeCalls.Add(1)
+		// The initial compute runs on the subscriber's goroutine (possibly
+		// the clock-advancing one), where a deadline wait could never be
+		// released; deadlines apply to maintenance computes only.
+		v, err := safeWindowCompute(h.compute, now, now)
+		snap := h.snaps.put(v, err)
+		h.cur.Store(snap)
+		e.bumpVersion()
+		if err == nil {
+			h.lastGood = snap
+		}
 	}
 	h.task = &clock.Task{Data: h}
 	task := h.task

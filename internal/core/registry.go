@@ -242,15 +242,26 @@ func (r *Registry) Define(def *Definition) error {
 	sc := r.env.lockScope(r)
 	defer sc.unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.entries[def.Kind]; ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %s/%s", ErrItemInUse, r.id, def.Kind)
 	}
 	r.defs[def.Kind] = def
+	// The node lock is released before bumping and journaling: the
+	// journal may checkpoint inline, and a checkpoint reads items
+	// through node-RLock primitives (Peek) — holding the write lock
+	// across it would self-deadlock.
+	r.mu.Unlock()
 	// Redefinition cannot change the edges of included entries (the
 	// item must not be in use), but bump conservatively so plans never
 	// outlive a definition change.
 	bumpStruct(r)
+	if def.Persist != "" {
+		r.env.journalRecord(JournalOp{
+			Op: JournalDefine, Registry: r.id, Kind: def.Kind,
+			Codec: def.Persist, CodecArgs: def.PersistArgs,
+		})
+	}
 	return nil
 }
 
@@ -285,6 +296,32 @@ func (r *Registry) Included() []Kind {
 		out = append(out, k)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PersistableDef identifies a definition restorable through a codec
+// (Definition.Persist), as recorded in checkpoints.
+type PersistableDef struct {
+	Kind  Kind
+	Codec string
+	Args  string
+}
+
+// PersistableDefinitions returns the registry's codec-backed
+// definitions, sorted by kind. Checkpoints read this instead of
+// mirroring Define calls so definitions registered before the journal
+// attached are still captured.
+func (r *Registry) PersistableDefinitions() []PersistableDef {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]PersistableDef, 0)
+	for k, d := range r.defs {
+		if d.Persist == "" {
+			continue
+		}
+		out = append(out, PersistableDef{Kind: k, Codec: d.Persist, Args: d.PersistArgs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
 	return out
 }
 
@@ -393,7 +430,14 @@ func (r *Registry) Subscribe(kind Kind) (*Subscription, error) {
 func (r *Registry) subscribeAttempt(kind Kind, need []*Registry) (*entry, error) {
 	sc := r.env.lockScope(need...)
 	defer sc.unlock()
-	return r.includeLocked(kind, make(map[*Registry]map[Kind]bool), &sc)
+	e, err := r.includeLocked(kind, make(map[*Registry]map[Kind]bool), &sc)
+	if err == nil {
+		// Journal the external subscription (transitive includes are
+		// derived state) inside the scope lock, so WAL order equals
+		// commit order per component.
+		r.env.journalRecord(JournalOp{Op: JournalSubscribe, Registry: r.id, Kind: kind})
+	}
+	return e, err
 }
 
 // resolveSelector maps a dependency selector to concrete registries.
@@ -610,6 +654,7 @@ func (r *Registry) unsubscribe(e *entry) {
 	sc := r.env.lockScope(r)
 	defer sc.unlock()
 	e.releaseLocked()
+	r.env.journalRecord(JournalOp{Op: JournalUnsubscribe, Registry: r.id, Kind: e.kind})
 }
 
 // releaseLocked decrements the reference count and removes the handler

@@ -117,6 +117,25 @@ type Stats struct {
 	// CatchUps counts snapshot-then-delta catch-ups delivered to late
 	// or lagging joiners (one Peek snapshot, then deltas only).
 	CatchUps atomic.Int64
+	// WALRecords counts structural ops appended to the durability WAL
+	// (internal/persist) since process start.
+	WALRecords atomic.Int64
+	// WALBytes is the size of the current WAL segment (a gauge: it
+	// resets to 0 when a checkpoint truncates the log; Sub keeps the
+	// newer snapshot's value).
+	WALBytes atomic.Int64
+	// Checkpoints counts checkpoints written (manual, periodic, and the
+	// post-recovery barrier checkpoint).
+	Checkpoints atomic.Int64
+	// CheckpointAt is the clock instant of the last checkpoint (a
+	// gauge; 0 before the first). Checkpoint age is Now - CheckpointAt.
+	CheckpointAt atomic.Int64
+	// Recoveries counts recoveries performed by persist.Open (0 on a
+	// fresh start, 1 after loading a checkpoint and/or WAL).
+	Recoveries atomic.Int64
+	// RestoredStale counts items re-published by RestoreStale into the
+	// quarantine-backed stale-serving state during recovery.
+	RestoredStale atomic.Int64
 }
 
 // noteQueueDelta adjusts the updater queue-depth gauge by delta (+1 per
@@ -172,6 +191,12 @@ type Snapshot struct {
 	CoalescedWakeups     int64
 	ShedNotifies         int64
 	CatchUps             int64
+	WALRecords           int64
+	WALBytes             int64
+	Checkpoints          int64
+	CheckpointAt         int64
+	Recoveries           int64
+	RestoredStale        int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -210,6 +235,12 @@ func (s *Stats) Snapshot() Snapshot {
 		CoalescedWakeups:     s.CoalescedWakeups.Load(),
 		ShedNotifies:         s.ShedNotifies.Load(),
 		CatchUps:             s.CatchUps.Load(),
+		WALRecords:           s.WALRecords.Load(),
+		WALBytes:             s.WALBytes.Load(),
+		Checkpoints:          s.Checkpoints.Load(),
+		CheckpointAt:         s.CheckpointAt.Load(),
+		Recoveries:           s.Recoveries.Load(),
+		RestoredStale:        s.RestoredStale.Load(),
 	}
 }
 
@@ -253,6 +284,13 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		CoalescedWakeups: s.CoalescedWakeups - t.CoalescedWakeups,
 		ShedNotifies:     s.ShedNotifies - t.ShedNotifies,
 		CatchUps:         s.CatchUps - t.CatchUps,
+		WALRecords:       s.WALRecords - t.WALRecords,
+		// WALBytes and CheckpointAt are gauges: keep the newer values.
+		WALBytes:      s.WALBytes,
+		Checkpoints:   s.Checkpoints - t.Checkpoints,
+		CheckpointAt:  s.CheckpointAt,
+		Recoveries:    s.Recoveries - t.Recoveries,
+		RestoredStale: s.RestoredStale - t.RestoredStale,
 	}
 }
 

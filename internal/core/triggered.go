@@ -75,6 +75,16 @@ func (h *triggeredHandler) start(e *entry) error {
 		// runs under the dependency-scope lock (includeLocked).
 		h.ds.startLocked(e)
 	}
+	if e.reg.env.restorePendingFor(e.reg, e.kind) {
+		// Recovery replay: skip the pre-compute — RestoreStale will
+		// re-publish the checkpointed last-good value before the plane is
+		// exposed. Delta aggregates stay registered on their dependency
+		// channels (startLocked above) with the accumulator invalid; the
+		// first post-recovery refresh re-folds.
+		h.cur.Store(h.snaps.put(nil, ErrNoValue))
+		e.bumpVersion()
+		return nil
+	}
 	// Pre-compute the initial value (Section 3.2.3: "values of
 	// metadata items with triggered handlers are pre-computed on the
 	// first subscription"). Dependencies are already included at this

@@ -1,0 +1,373 @@
+package modelcheck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func writeFileT(t *testing.T, path string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Crash-recovery lockstep: run a workload with a durability plane
+// attached, kill the process at an arbitrary op boundary (or tear the
+// WAL at an arbitrary byte), recover into a fresh system, and verify
+//
+//  1. the recovered topology — inclusion sets, refcounts, mechanisms,
+//     windows, dependency edges — is byte-identical to the pre-crash
+//     structural state at the durable op boundary (topologyString);
+//  2. every checkpointed item still included serves its checkpointed
+//     last-good value tagged ErrStale+ErrRestored, at a publication
+//     version above the checkpointed one (so since-based watch resume
+//     sees exactly the stale republish, not a dead stream);
+//  3. warming through the probe machinery converges every item back to
+//     healthy fresh values.
+//
+// Module detach/attach ops are filtered from crash workloads: module
+// attachment is wiring re-established by process setup code (NewSystem
+// here), not journaled plane state, and a workload that crashes while
+// detached would recover against different resolution wiring than the
+// journal assumes.
+
+// crashScript derives the crash-harness op script from a seed.
+func crashScript(seed int64, ops int) (*Workload, []Op) {
+	wl := Generate(seed, Config{Ops: ops})
+	script := make([]Op, 0, len(wl.Ops))
+	for _, op := range wl.Ops {
+		if op.Kind == OpDetachModule || op.Kind == OpAttachModule {
+			continue
+		}
+		script = append(script, op)
+	}
+	return wl, script
+}
+
+// breakerEnv is the env configuration every crash-harness system runs
+// under: recovery's stale-restore path needs the breaker machinery.
+func breakerEnv() []core.EnvOption {
+	return []core.EnvOption{core.WithBreaker(core.DefaultBreakerPolicy)}
+}
+
+// applyOp applies one op to a system without a model (the expected-
+// state replayer for torn-write prefixes). Mirrors the system half of
+// stepOp exactly — in particular the unsubscribe index arithmetic.
+func applyOp(sys *System, op Op, subs []heldSub) []heldSub {
+	switch op.Kind {
+	case OpSubscribe:
+		if sub, err := sys.Regs[op.Reg].Subscribe(op.Item); err == nil {
+			subs = append(subs, heldSub{sub: sub, key: ikey{op.Reg, op.Item}})
+		}
+	case OpUnsubscribe:
+		if len(subs) == 0 {
+			return subs
+		}
+		idx := int(op.Arg) % len(subs)
+		subs[idx].sub.Unsubscribe()
+		subs = append(subs[:idx], subs[idx+1:]...)
+	case OpAdvance:
+		sys.Clk.Advance(clock.Duration(op.Arg))
+	case OpFireEvent:
+		sys.Regs[op.Reg].FireEvent(op.Event)
+	case OpNotifyChanged:
+		sys.Regs[op.Reg].NotifyChanged(op.Item)
+	case OpRead:
+		sys.Regs[op.Reg].Peek(op.Item)
+	case OpMigrate:
+		sys.Regs[op.Reg].Migrate(op.Item, core.Mechanism(op.Arg&0xff), clock.Duration(op.Arg>>8))
+	case OpRedefine:
+		if spec := sys.Wl.Item(op.Reg, op.Item); spec != nil {
+			sys.Regs[op.Reg].Define(sys.definition(op.Reg, *spec))
+		}
+	}
+	return subs
+}
+
+// topologyString renders the full structural state of a system in a
+// canonical form: per item, inclusion, refcount, mechanism, window, and
+// the sorted dependency-edge multiset. Clock- and value-independent, so
+// a recovered system compares byte-for-byte against the pre-crash one.
+func topologyString(sys *System) string {
+	var b strings.Builder
+	for ri := range sys.Wl.Regs {
+		reg := sys.Regs[ri]
+		for _, it := range sys.Wl.Regs[ri].Items {
+			if !reg.IsIncluded(it.Kind) {
+				continue
+			}
+			mech, _ := reg.Mechanism(it.Kind)
+			win := clock.Duration(0)
+			if mech == core.PeriodicMechanism {
+				win, _ = reg.Window(it.Kind)
+			}
+			deps := []string{}
+			if refs, ok := reg.Dependencies(it.Kind); ok {
+				for _, d := range refs {
+					deps = append(deps, fmt.Sprintf("%s/%s", d.RegistryID, d.Kind))
+				}
+			}
+			sort.Strings(deps)
+			fmt.Fprintf(&b, "%s/%s refs=%d mech=%d win=%d deps=[%s]\n",
+				reg.ID(), it.Kind, reg.Refs(it.Kind), mech, win, strings.Join(deps, " "))
+		}
+	}
+	return b.String()
+}
+
+// itemState is a pre-crash observation used for restore assertions.
+type itemState struct {
+	value   core.Value
+	version uint64
+	mech    core.Mechanism
+}
+
+// snapshotItems observes every included non-static item of sys.
+func snapshotItems(sys *System) map[ikey]itemState {
+	out := make(map[ikey]itemState)
+	for ri := range sys.Wl.Regs {
+		reg := sys.Regs[ri]
+		for _, it := range sys.Wl.Regs[ri].Items {
+			if !reg.IsIncluded(it.Kind) {
+				continue
+			}
+			mech, _ := reg.Mechanism(it.Kind)
+			if mech == core.StaticMechanism {
+				continue
+			}
+			v, err := reg.Peek(it.Kind)
+			if err != nil {
+				continue
+			}
+			ver, _ := reg.ItemVersion(it.Kind)
+			out[ikey{ri, it.Kind}] = itemState{value: v, version: ver, mech: mech}
+		}
+	}
+	return out
+}
+
+// warmRecovered advances the recovered system through enough probe
+// backoffs for every quarantined item to recompute and propagate, then
+// asserts full convergence: no stale reads, everything healthy.
+func warmRecovered(t *testing.T, at string, sys *System) {
+	t.Helper()
+	for i := 0; i < 12; i++ {
+		sys.Clk.Advance(clock.Duration(core.DefaultBreakerPolicy.MaxProbeBackoff))
+		sys.Env.Quiesce()
+	}
+	for ri := range sys.Wl.Regs {
+		reg := sys.Regs[ri]
+		for _, it := range sys.Wl.Regs[ri].Items {
+			if !reg.IsIncluded(it.Kind) {
+				continue
+			}
+			v, err := reg.Peek(it.Kind)
+			if err != nil {
+				t.Fatalf("%s: r%d/%s still unhealthy after warm: %v", at, ri, it.Kind, err)
+			}
+			if _, ok := v.(float64); !ok {
+				t.Fatalf("%s: r%d/%s warm value %v (%T)", at, ri, it.Kind, v, v)
+			}
+			if hs, ok := reg.Health(it.Kind); !ok || hs.State != core.Healthy {
+				t.Fatalf("%s: r%d/%s health %+v after warm", at, ri, it.Kind, hs)
+			}
+		}
+	}
+}
+
+// RunCrashRecovery drives one seeded workload with a durability plane,
+// checkpoints at op ckptAt, kills the process (no final checkpoint) at
+// op killAt, recovers into a fresh system, and verifies the recovery
+// contract. The first run is a full model lockstep, so the pre-crash
+// state itself is verified before it becomes the recovery oracle.
+func RunCrashRecovery(t *testing.T, seed int64, ckptAt, killAt int) {
+	t.Helper()
+	wl, script := crashScript(seed, 60)
+	if killAt > len(script) {
+		killAt = len(script)
+	}
+	if ckptAt > killAt {
+		ckptAt = killAt
+	}
+	at := fmt.Sprintf("seed=%d ckpt@%d kill@%d", seed, ckptAt, killAt)
+	dir := t.TempDir()
+
+	// ---- First life: lockstep with the model, plane attached. ----
+	sys1 := NewSystem(wl, nil, nil, breakerEnv()...)
+	model := NewModel(wl)
+	plane1, rs1, err := persist.Open(sys1.Env, dir, persist.Options{}, sys1.Regs...)
+	if err != nil {
+		t.Fatalf("%s: first Open: %v", at, err)
+	}
+	if rs1.Recovered {
+		t.Fatalf("%s: fresh dir reported recovered", at)
+	}
+	var subs []heldSub
+	var ckptItems map[ikey]itemState
+	for i := 0; i < killAt; i++ {
+		opAt := fmt.Sprintf("%s op#%d (%s)", at, i, script[i])
+		subs = stepOp(t, opAt, sys1, model, script[i], subs)
+		compareStates(t, opAt, sys1, model, subs)
+		if i == ckptAt-1 {
+			if err := plane1.Checkpoint(); err != nil {
+				t.Fatalf("%s: checkpoint: %v", opAt, err)
+			}
+			ckptItems = snapshotItems(sys1)
+		}
+	}
+	if ckptAt == 0 {
+		ckptItems = map[ikey]itemState{}
+	}
+	wantTopology := topologyString(sys1)
+	tailRecords := sys1.Env.Stats().WALBytes.Load() // bytes in current segment
+	plane1.Abandon()                                // SIGKILL
+
+	// ---- Second life: recover and verify. ----
+	sys2 := NewSystem(wl, nil, nil, breakerEnv()...)
+	plane2, rs2, err := persist.Open(sys2.Env, dir, persist.Options{}, sys2.Regs...)
+	if err != nil {
+		t.Fatalf("%s: recovery Open: %v", at, err)
+	}
+	defer plane2.Close()
+	if rs2.Skipped != 0 {
+		t.Fatalf("%s: recovery skipped %d ops (stats %+v)", at, rs2.Skipped, rs2)
+	}
+	if tailRecords > 0 && rs2.WALRecords == 0 {
+		t.Fatalf("%s: WAL tail (%d bytes) replayed no records", at, tailRecords)
+	}
+
+	// 1. Structural byte-identity with the pre-crash state.
+	if got := topologyString(sys2); got != wantTopology {
+		t.Fatalf("%s: recovered topology differs\n--- pre-crash ---\n%s--- recovered ---\n%s",
+			at, wantTopology, got)
+	}
+
+	// 2. Degraded mode: checkpointed items still included serve their
+	// checkpointed last-good tagged stale, above the persisted version.
+	restored := 0
+	for k, st := range ckptItems {
+		reg := sys2.Regs[k.reg]
+		if !reg.IsIncluded(k.kind) {
+			continue // dropped by the WAL tail
+		}
+		v, err := reg.Peek(k.kind)
+		if !errors.Is(err, core.ErrStale) || !errors.Is(err, core.ErrRestored) {
+			t.Fatalf("%s: %v err = %v, want ErrStale+ErrRestored", at, k, err)
+		}
+		if v != st.value {
+			t.Fatalf("%s: %v restored value %v, want checkpointed %v", at, k, v, st.value)
+		}
+		if hs, ok := reg.Health(k.kind); !ok || hs.State != core.Quarantined {
+			t.Fatalf("%s: %v health %+v, want quarantined", at, k, hs)
+		}
+		if ver, _ := reg.ItemVersion(k.kind); ver <= st.version {
+			t.Fatalf("%s: %v version %d not above persisted %d (watch resume would miss the republish)",
+				at, k, ver, st.version)
+		}
+		restored++
+	}
+	if restored != rs2.Restored {
+		t.Fatalf("%s: verified %d restored items, recovery reported %d", at, restored, rs2.Restored)
+	}
+
+	// 3. Warm back to healthy through the probe machinery.
+	warmRecovered(t, at, sys2)
+
+	if errs := core.VerifyIntegrity(extCounts(wl, subs), sys2.BaseRegs()...); len(errs) > 0 {
+		t.Fatalf("%s: recovered integrity violations: %v", at, errs)
+	}
+	if err := core.ScopesUnlocked(sys2.Regs...); err != nil {
+		t.Fatalf("%s: %v", at, err)
+	}
+}
+
+// RunTornWrite drives a workload with a plane, kills it, then mutilates
+// the WAL at byte granularity (truncation or bit flip) and verifies
+// recovery lands exactly on a durable op-boundary prefix: the recovered
+// topology equals a plain replay of the script up to the boundary the
+// surviving records encode. Relies on each journaled op writing at most
+// one WAL record, so record count maps 1:1 to an op boundary.
+func RunTornWrite(t *testing.T, seed int64, mutate func(wal []byte) []byte) {
+	t.Helper()
+	wl, script := crashScript(seed, 50)
+	dir := t.TempDir()
+
+	sys1 := NewSystem(wl, nil, nil, breakerEnv()...)
+	plane1, _, err := persist.Open(sys1.Env, dir, persist.Options{}, sys1.Regs...)
+	if err != nil {
+		t.Fatalf("seed=%d: Open: %v", seed, err)
+	}
+	// recsAt[i] = cumulative WAL records after script[i] (each op writes
+	// at most one).
+	var subs []heldSub
+	recsAt := make([]int64, len(script))
+	for i, op := range script {
+		subs = applyOp(sys1, op, subs)
+		recsAt[i] = sys1.Env.Stats().WALRecords.Load()
+	}
+	plane1.Abandon()
+
+	// Mutilate the (single) WAL segment.
+	walFiles, _ := filepath.Glob(filepath.Join(dir, "wal.*.log"))
+	if len(walFiles) != 1 {
+		t.Fatalf("seed=%d: %d WAL segments, want 1", seed, len(walFiles))
+	}
+	raw := readFileT(t, walFiles[0])
+	mutated := mutate(append([]byte{}, raw...))
+	writeFileT(t, walFiles[0], mutated)
+
+	// The durable prefix: recovery replays exactly the whole records
+	// that survive framing, i.e. the state at the op that wrote the
+	// m-th record.
+	payloads, _ := persist.ReplayWAL(mutated)
+	m := int64(len(payloads))
+	boundary := -1
+	for i := range recsAt {
+		if recsAt[i] <= m {
+			boundary = i
+		}
+	}
+	at := fmt.Sprintf("seed=%d torn(m=%d boundary=%d)", seed, m, boundary)
+
+	// Expected state: a plain (non-durable) system replaying the script
+	// through the boundary.
+	want := NewSystem(wl, nil, nil, breakerEnv()...)
+	var wsubs []heldSub
+	for i := 0; i <= boundary; i++ {
+		wsubs = applyOp(want, script[i], wsubs)
+	}
+
+	sys2 := NewSystem(wl, nil, nil, breakerEnv()...)
+	plane2, rs2, err := persist.Open(sys2.Env, dir, persist.Options{}, sys2.Regs...)
+	if err != nil {
+		t.Fatalf("%s: recovery Open: %v", at, err)
+	}
+	defer plane2.Close()
+	if int64(rs2.WALRecords) != m {
+		t.Fatalf("%s: recovery replayed %d records, framing says %d survive", at, rs2.WALRecords, m)
+	}
+	if wantS, got := topologyString(want), topologyString(sys2); got != wantS {
+		t.Fatalf("%s: recovered topology is not the durable prefix\n--- want ---\n%s--- got ---\n%s",
+			at, wantS, got)
+	}
+	warmRecovered(t, at, sys2)
+}

@@ -246,6 +246,9 @@ type OverheadProfile struct {
 	Window core.Snapshot
 	// Duration is the profiled time span.
 	Duration clock.Duration
+	// At is the instant the window closed — the reference point for
+	// age-style gauges like checkpoint age.
+	At clock.Time
 }
 
 // UpdatesPerTimeUnit returns the maintenance operations per time unit.
@@ -329,6 +332,20 @@ func (p OverheadProfile) FormatWatch() string {
 		p.Window.ShedNotifies, p.Window.CatchUps)
 }
 
+// FormatDurability renders the window's durable-plane counters as a
+// one-line summary: WAL appends in the window and the current segment
+// size, checkpoints written with the age of the newest one
+// (checkpointAge=-1 means no checkpoint yet), and recovery activity.
+func (p OverheadProfile) FormatDurability() string {
+	age := int64(-1)
+	if p.Window.CheckpointAt > 0 {
+		age = int64(p.At.Sub(clock.Time(p.Window.CheckpointAt)))
+	}
+	return fmt.Sprintf("walRecords=%d walBytes=%d checkpoints=%d checkpointAge=%d recoveries=%d restoredStale=%d",
+		p.Window.WALRecords, p.Window.WALBytes, p.Window.Checkpoints,
+		age, p.Window.Recoveries, p.Window.RestoredStale)
+}
+
 // Profiler captures framework overhead over a time window.
 type Profiler struct {
 	env   *core.Env
@@ -346,6 +363,7 @@ func (p *Profiler) Stop() OverheadProfile {
 	return OverheadProfile{
 		Window:   p.env.Stats().Snapshot().Sub(p.start),
 		Duration: p.env.Now().Sub(p.since),
+		At:       p.env.Now(),
 	}
 }
 

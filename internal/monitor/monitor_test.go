@@ -342,3 +342,35 @@ func TestOverheadProfilePipeline(t *testing.T) {
 		}
 	}
 }
+
+func TestOverheadProfileDurability(t *testing.T) {
+	vc := clock.NewVirtual()
+	env := core.NewEnv(vc)
+	p := NewProfiler(env)
+
+	// Simulate durable-plane activity the way persist reports it.
+	st := env.Stats()
+	st.WALRecords.Add(3)
+	st.WALBytes.Store(120)
+	st.Checkpoints.Add(1)
+	vc.Advance(50)
+	st.CheckpointAt.Store(int64(env.Now()) - 10)
+	st.Recoveries.Add(1)
+	st.RestoredStale.Add(2)
+
+	line := p.Stop().FormatDurability()
+	for _, want := range []string{
+		"walRecords=3", "walBytes=120", "checkpoints=1",
+		"checkpointAge=10", "recoveries=1", "restoredStale=2",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("FormatDurability() = %q, missing %q", line, want)
+		}
+	}
+
+	// No checkpoint yet: age is -1, not a bogus now-zero delta.
+	fresh := NewProfiler(core.NewEnv(clock.NewVirtual())).Stop()
+	if line := fresh.FormatDurability(); !strings.Contains(line, "checkpointAge=-1") {
+		t.Fatalf("FormatDurability() = %q, want checkpointAge=-1", line)
+	}
+}

@@ -1,0 +1,175 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// ckptMagic heads every checkpoint file; the trailing version digit
+// gates future format changes.
+var ckptMagic = []byte("MDCKPT1\n")
+
+// checkpointData is the full-plane snapshot serialized into one framed
+// JSON record: topology (external subscription counts and applied
+// migrations), persistable definitions, and per-item last-good
+// (value, version) snapshots with their health condition.
+type checkpointData struct {
+	// Seq numbers checkpoints; the WAL segment wal.<Seq>.log holds the
+	// ops recorded after this checkpoint.
+	Seq uint64 `json:"seq"`
+	// Now is the env clock at checkpoint time. Recovery advances a
+	// virtual clock to it so probe backoffs and window cadences resume
+	// on the pre-crash timeline; real clocks are left alone.
+	Now int64 `json:"now"`
+
+	Defines []defineRec `json:"defines,omitempty"`
+	Subs    []subRec    `json:"subs,omitempty"`
+	Migs    []migRec    `json:"migs,omitempty"`
+	Items   []itemRec   `json:"items,omitempty"`
+}
+
+// defineRec is a persistable definition by codec name (Definition.Persist).
+type defineRec struct {
+	Reg   string `json:"reg"`
+	Kind  string `json:"kind"`
+	Codec string `json:"codec"`
+	Args  string `json:"args,omitempty"`
+}
+
+// subRec is the external subscription count of one item.
+type subRec struct {
+	Reg   string `json:"reg"`
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+}
+
+// migRec is the last applied migration of one item.
+type migRec struct {
+	Reg    string `json:"reg"`
+	Kind   string `json:"kind"`
+	To     uint8  `json:"to"`
+	Window int64  `json:"win,omitempty"`
+}
+
+// itemRec is one included item's last-good snapshot. Float values are
+// persisted as their IEEE-754 bit pattern (exact round trip — a decimal
+// rendering would perturb the modelcheck bit-identity contract); other
+// values ride JSON and are skipped if unencodable.
+type itemRec struct {
+	Reg     string          `json:"reg"`
+	Kind    string          `json:"kind"`
+	Version uint64          `json:"ver"`
+	F       *uint64         `json:"f,omitempty"`
+	J       json.RawMessage `json:"j,omitempty"`
+	// Stale marks an item that was already serving a stale value at
+	// checkpoint time; Cause preserves its quarantine cause text.
+	Stale bool   `json:"stale,omitempty"`
+	Cause string `json:"cause,omitempty"`
+}
+
+// encodeValue packs a value into an itemRec, reporting ok=false for
+// values that do not round-trip (functions, channels, cyclic graphs).
+func (ir *itemRec) encodeValue(v any) bool {
+	if f, isF := v.(float64); isF {
+		bits := math.Float64bits(f)
+		ir.F = &bits
+		return true
+	}
+	j, err := json.Marshal(v)
+	if err != nil {
+		return false
+	}
+	ir.J = j
+	return true
+}
+
+// decodeValue unpacks the persisted value.
+func (ir *itemRec) decodeValue() (any, error) {
+	if ir.F != nil {
+		return math.Float64frombits(*ir.F), nil
+	}
+	var v any
+	if err := json.Unmarshal(ir.J, &v); err != nil {
+		return nil, fmt.Errorf("%w: item %s/%s value: %v", ErrCorrupt, ir.Reg, ir.Kind, err)
+	}
+	return v, nil
+}
+
+// EncodeCheckpoint serializes d as magic + one framed JSON record.
+func EncodeCheckpoint(d *checkpointData) ([]byte, error) {
+	payload, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("persist: encoding checkpoint: %w", err)
+	}
+	out := make([]byte, 0, len(ckptMagic)+frameHeader+len(payload))
+	out = append(out, ckptMagic...)
+	return appendFrame(out, payload), nil
+}
+
+// DecodeCheckpoint parses checkpoint bytes. Checkpoints are written
+// atomically (temp-file + rename), so any defect — bad magic, torn
+// frame, CRC mismatch, malformed JSON, trailing garbage — is real
+// corruption and reports ErrCorrupt; it never panics.
+func DecodeCheckpoint(b []byte) (*checkpointData, error) {
+	if !bytes.HasPrefix(b, ckptMagic) {
+		return nil, fmt.Errorf("%w: bad checkpoint magic", ErrCorrupt)
+	}
+	payload, n, err := readFrame(b[len(ckptMagic):])
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpoint frame", ErrCorrupt)
+	}
+	if len(b) != len(ckptMagic)+n {
+		return nil, fmt.Errorf("%w: %d trailing checkpoint bytes", ErrCorrupt, len(b)-len(ckptMagic)-n)
+	}
+	var d checkpointData
+	if err := json.Unmarshal(payload, &d); err != nil {
+		return nil, fmt.Errorf("%w: checkpoint payload: %v", ErrCorrupt, err)
+	}
+	return &d, nil
+}
+
+// writeCheckpoint atomically replaces dir/checkpoint.db: write to a
+// temp file in the same directory, fsync it, rename over the target,
+// fsync the directory so the rename itself is durable.
+func writeCheckpoint(dir string, d *checkpointData) error {
+	enc, err := EncodeCheckpoint(d)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "checkpoint.db.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: checkpoint temp: %w", err)
+	}
+	if _, err := f.Write(enc); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "checkpoint.db")); err != nil {
+		return fmt.Errorf("persist: checkpoint rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer df.Close()
+	df.Sync()
+	return nil
+}

@@ -1,0 +1,58 @@
+package persist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Definition codecs: Go functions do not serialize, so a definition is
+// durable only by naming a registered codec (Definition.Persist) that
+// can rebuild it from an opaque argument string at recovery time.
+// Definitions without a codec are expected to be re-registered by
+// application code (node constructors run before persist.Open), which
+// is why recovery skips defines whose kind already exists.
+
+var (
+	codecMu sync.RWMutex
+	codecs  = map[string]func(args string) (*core.Definition, error){}
+)
+
+// RegisterCodec registers a definition codec under name, typically
+// from an init function of the package owning the definition shape.
+// Registering a duplicate name panics: silently replacing a codec
+// would change what recovery rebuilds.
+func RegisterCodec(name string, build func(args string) (*core.Definition, error)) {
+	if name == "" || build == nil {
+		panic("persist: RegisterCodec with empty name or nil builder")
+	}
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecs[name]; dup {
+		panic(fmt.Sprintf("persist: codec %q registered twice", name))
+	}
+	codecs[name] = build
+}
+
+// buildDef rebuilds a definition through its codec, stamping
+// Persist/PersistArgs so the rebuilt definition re-journals and
+// re-checkpoints identically.
+func buildDef(name, args string) (*core.Definition, error) {
+	codecMu.RLock()
+	build := codecs[name]
+	codecMu.RUnlock()
+	if build == nil {
+		return nil, fmt.Errorf("persist: unknown definition codec %q", name)
+	}
+	def, err := build(args)
+	if err != nil {
+		return nil, fmt.Errorf("persist: codec %q: %w", name, err)
+	}
+	if def == nil {
+		return nil, fmt.Errorf("persist: codec %q returned nil definition", name)
+	}
+	def.Persist = name
+	def.PersistArgs = args
+	return def, nil
+}

@@ -1,0 +1,68 @@
+// Package persist is the durable metadata plane: a write-ahead log of
+// structural operations plus periodic full-plane checkpoints, and the
+// recovery path that rebuilds a crashed process's metadata topology and
+// parks every checkpointed item in degraded mode (serving its pre-crash
+// last-good value tagged core.ErrStale) until the existing
+// probe/republish machinery warms it back to healthy.
+//
+// On-disk layout (all inside one directory):
+//
+//	checkpoint.db   magic + one CRC-framed JSON record (temp+rename)
+//	wal.<seq>.log   CRC-framed JSON records, one per structural op;
+//	                <seq> is the checkpoint sequence the segment follows
+//
+// Record framing is crash-safe: a torn tail (partial frame, or a frame
+// whose CRC does not match) terminates replay at the last whole record
+// instead of failing recovery; see ReplayWAL.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// ErrCorrupt reports persistence bytes that cannot be decoded: a bad
+// magic, an absurd length, a CRC mismatch, or a truncation in a
+// structure that is written atomically (checkpoints). WAL tails are the
+// exception — a torn tail is the expected crash artifact and yields
+// partial replay, not an error.
+var ErrCorrupt = errors.New("persist: corrupt or truncated data")
+
+// A frame is: 4-byte little-endian payload length, 4-byte little-endian
+// IEEE CRC32 of the payload, payload bytes.
+const frameHeader = 8
+
+// maxFrame bounds a single frame payload; a length field beyond it is
+// treated as corruption, not an allocation request.
+const maxFrame = 64 << 20
+
+// appendFrame appends the framed payload to dst and returns it.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readFrame decodes one frame at the start of b, returning the payload
+// and the total bytes consumed. It returns ErrCorrupt for a frame that
+// is torn (truncated header or body), oversized, or whose CRC does not
+// match — callers decide whether that is a clean replay stop (WAL tail)
+// or a hard error (checkpoint).
+func readFrame(b []byte) (payload []byte, n int, err error) {
+	if len(b) < frameHeader {
+		return nil, 0, ErrCorrupt
+	}
+	ln := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if ln > maxFrame || int(ln) > len(b)-frameHeader {
+		return nil, 0, ErrCorrupt
+	}
+	payload = b[frameHeader : frameHeader+int(ln)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, ErrCorrupt
+	}
+	return payload, frameHeader + int(ln), nil
+}

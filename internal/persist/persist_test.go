@@ -1,0 +1,492 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// The test fixture: registry "op" with a codec-backed triggered item per
+// index reading a live source cell, so a recovered process observes a
+// DIFFERENT live value than the checkpointed one — proving reads after
+// recovery serve the persisted last-good, not a silent recompute.
+
+var srcCells [64]atomic.Uint64 // Float64bits per item index
+
+func setSrc(i int, v float64) { srcCells[i].Store(mathFloat64bits(v)) }
+
+func mathFloat64bits(v float64) uint64 {
+	var ir itemRec
+	ir.encodeValue(v)
+	return *ir.F
+}
+
+func init() {
+	RegisterCodec("test.cell", func(args string) (*core.Definition, error) {
+		i, err := strconv.Atoi(args)
+		if err != nil {
+			return nil, err
+		}
+		read := func(clock.Time) (core.Value, error) {
+			ir := itemRec{F: new(uint64)}
+			*ir.F = srcCells[i].Load()
+			return ir.decodeValue()
+		}
+		return &core.Definition{
+			Kind: core.Kind(fmt.Sprintf("cell%d", i)),
+			Build: func(*core.BuildContext) (core.Handler, error) {
+				return core.NewTriggered(read), nil
+			},
+			Adapt: &core.AdaptSpec{
+				OnDemand:  func(*core.BuildContext) core.ComputeFunc { return read },
+				Triggered: func(*core.BuildContext) core.ComputeFunc { return read },
+				Periodic: func(*core.BuildContext) core.WindowComputeFunc {
+					return func(_, end clock.Time) (core.Value, error) { return read(end) }
+				},
+				Window: 50,
+			},
+		}, nil
+	})
+}
+
+func testEnv(t *testing.T, breaker bool) (*core.Env, *clock.Virtual) {
+	t.Helper()
+	vc := clock.NewVirtual()
+	opts := []core.EnvOption{}
+	if breaker {
+		opts = append(opts, core.WithBreaker(core.DefaultBreakerPolicy))
+	}
+	return core.NewEnv(vc, opts...), vc
+}
+
+func defineCell(t *testing.T, r *core.Registry, i int) {
+	t.Helper()
+	def, err := buildDef("test.cell", strconv.Itoa(i))
+	if err != nil {
+		t.Fatalf("buildDef: %v", err)
+	}
+	if err := r.Define(def); err != nil {
+		t.Fatalf("Define: %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var b []byte
+	payloads := [][]byte{[]byte("a"), {}, []byte("hello world")}
+	for _, p := range payloads {
+		b = appendFrame(b, p)
+	}
+	for i := 0; len(b) > 0; i++ {
+		p, n, err := readFrame(b)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if string(p) != string(payloads[i]) {
+			t.Fatalf("frame %d = %q, want %q", i, p, payloads[i])
+		}
+		b = b[n:]
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	good := appendFrame(nil, []byte("payload"))
+	cases := map[string][]byte{
+		"short header": good[:4],
+		"torn body":    good[:len(good)-2],
+		"bit flip":     append(append([]byte{}, good[:frameHeader]...), 'X', 'a', 'y', 'l', 'o', 'a', 'd'),
+	}
+	for name, b := range cases {
+		if _, _, err := readFrame(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestWALReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(filepath.Join(dir, "wal.1.log"), SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.append([]byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+	raw, _ := os.ReadFile(filepath.Join(dir, "wal.1.log"))
+
+	if ps, trunc := ReplayWAL(raw); trunc || len(ps) != 5 {
+		t.Fatalf("clean replay = %d recs trunc=%v, want 5 false", len(ps), trunc)
+	}
+	// Every possible torn length replays the longest whole prefix.
+	// Each record is 8 bytes of header + 4 bytes of payload = 12 bytes.
+	for cut := 0; cut < len(raw); cut++ {
+		ps, trunc := ReplayWAL(raw[:cut])
+		if len(ps) != cut/12 {
+			t.Fatalf("cut %d: replayed %d recs, want %d", cut, len(ps), cut/12)
+		}
+		if wantTrunc := cut%12 != 0; trunc != wantTrunc {
+			t.Fatalf("cut %d: truncated = %v, want %v", cut, trunc, wantTrunc)
+		}
+	}
+	// A bit flip in the middle stops replay at the damaged record.
+	flipped := append([]byte{}, raw...)
+	flipped[12+frameHeader] ^= 0x40 // payload byte of record 1
+	ps, trunc := ReplayWAL(flipped)
+	if len(ps) != 1 || !trunc {
+		t.Fatalf("bit-flipped replay = %d recs trunc=%v, want 1 true", len(ps), trunc)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	f := mathFloat64bits(3.5)
+	d := &checkpointData{
+		Seq: 7, Now: 1234,
+		Defines: []defineRec{{Reg: "op", Kind: "cell0", Codec: "test.cell", Args: "0"}},
+		Subs:    []subRec{{Reg: "op", Kind: "cell0", Count: 2}},
+		Migs:    []migRec{{Reg: "op", Kind: "cell0", To: 2, Window: 50}},
+		Items:   []itemRec{{Reg: "op", Kind: "cell0", Version: 9, F: &f}},
+	}
+	enc, err := EncodeCheckpoint(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.Now != 1234 || len(got.Items) != 1 || *got.Items[0].F != f {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	v, err := got.Items[0].decodeValue()
+	if err != nil || v.(float64) != 3.5 {
+		t.Fatalf("decodeValue = %v, %v; want 3.5", v, err)
+	}
+
+	for name, mangle := range map[string]func([]byte) []byte{
+		"bad magic":  func(b []byte) []byte { b = append([]byte{}, b...); b[0] = 'X'; return b },
+		"truncated":  func(b []byte) []byte { return b[:len(b)-3] },
+		"trailing":   func(b []byte) []byte { return append(append([]byte{}, b...), 0xFF) },
+		"crc flip":   func(b []byte) []byte { b = append([]byte{}, b...); b[len(b)-1] ^= 1; return b },
+		"empty":      func([]byte) []byte { return nil },
+		"magic only": func(b []byte) []byte { return b[:len(ckptMagic)] },
+	} {
+		if _, err := DecodeCheckpoint(mangle(append([]byte{}, enc...))); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestCodecRegistry(t *testing.T) {
+	if _, err := buildDef("no.such.codec", ""); err == nil {
+		t.Fatal("unknown codec did not error")
+	}
+	def, err := buildDef("test.cell", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Persist != "test.cell" || def.PersistArgs != "3" || def.Kind != "cell3" {
+		t.Fatalf("buildDef stamped %q/%q kind %q", def.Persist, def.PersistArgs, def.Kind)
+	}
+}
+
+// TestSaveRecoverCycle is the full tentpole loop: run, checkpoint,
+// crash, recover into degraded mode, warm back to healthy.
+func TestSaveRecoverCycle(t *testing.T) {
+	dir := t.TempDir()
+
+	// ---- First life: define, subscribe, run, crash. ----
+	env1, vc1 := testEnv(t, true)
+	r1 := env1.NewRegistry("op")
+	for i := 0; i < 3; i++ {
+		defineCell(t, r1, i)
+		setSrc(i, float64(10+i))
+	}
+	p1, rs1, err := Open(env1, dir, Options{}, r1)
+	if err != nil {
+		t.Fatalf("first Open: %v", err)
+	}
+	if rs1.Recovered {
+		t.Fatalf("fresh dir reported recovered: %+v", rs1)
+	}
+	subs := make([]*core.Subscription, 3)
+	for i := range subs {
+		if subs[i], err = r1.Subscribe(core.Kind(fmt.Sprintf("cell%d", i))); err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+	}
+	vc1.Advance(100)
+	env1.Quiesce()
+	ver1, _ := r1.ItemVersion("cell1")
+	if err := p1.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if env1.Stats().Checkpoints.Load() < 2 { // barrier + explicit
+		t.Fatalf("Checkpoints stat = %d", env1.Stats().Checkpoints.Load())
+	}
+	p1.Abandon() // SIGKILL
+
+	// The world moves on while the process is down.
+	for i := 0; i < 3; i++ {
+		setSrc(i, float64(1000+i))
+	}
+
+	// ---- Second life: recover. ----
+	env2, vc2 := testEnv(t, true)
+	r2 := env2.NewRegistry("op")
+	p2, rs2, err := Open(env2, dir, Options{}, r2)
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	defer p2.Close()
+	if !rs2.Recovered || rs2.Defined != 3 || rs2.Subscribed != 3 || rs2.Restored != 3 || rs2.Skipped != 0 {
+		t.Fatalf("recovery stats = %+v, want 3 defined/subscribed/restored", rs2)
+	}
+	if vc2.Now() < vc1.Now() {
+		t.Fatalf("recovered clock %d behind pre-crash %d", vc2.Now(), vc1.Now())
+	}
+	// Reads serve the pre-crash last-good tagged stale — not the live
+	// source (1000+i), and not a placeholder.
+	for i := 0; i < 3; i++ {
+		kind := core.Kind(fmt.Sprintf("cell%d", i))
+		v, err := r2.Peek(kind)
+		if !errors.Is(err, core.ErrStale) || !errors.Is(err, core.ErrRestored) {
+			t.Fatalf("%s: err = %v, want ErrStale+ErrRestored", kind, err)
+		}
+		if v.(float64) != float64(10+i) {
+			t.Fatalf("%s = %v, want checkpointed %d", kind, v, 10+i)
+		}
+		if hs, ok := r2.Health(kind); !ok || hs.State != core.Quarantined {
+			t.Fatalf("%s health = %+v, want quarantined", kind, hs)
+		}
+	}
+	// Version stream continued: the stale republish is persisted+1.
+	if ver2, _ := r2.ItemVersion("cell1"); ver2 != ver1+1 {
+		t.Fatalf("cell1 version = %d, want pre-crash %d + 1", ver2, ver1)
+	}
+	if env2.Stats().Recoveries.Load() != 1 || env2.Stats().RestoredStale.Load() != 3 {
+		t.Fatalf("recovery stats: Recoveries=%d RestoredStale=%d",
+			env2.Stats().Recoveries.Load(), env2.Stats().RestoredStale.Load())
+	}
+
+	// ---- Warm phase: probes recompute from the live world. ----
+	vc2.Advance(2 * core.DefaultBreakerPolicy.MaxProbeBackoff)
+	env2.Quiesce()
+	for i := 0; i < 3; i++ {
+		kind := core.Kind(fmt.Sprintf("cell%d", i))
+		v, err := r2.Peek(kind)
+		if err != nil {
+			t.Fatalf("%s after warm: %v", kind, err)
+		}
+		if v.(float64) != float64(1000+i) {
+			t.Fatalf("%s after warm = %v, want live %d", kind, v, 1000+i)
+		}
+		if hs, _ := r2.Health(kind); hs.State != core.Healthy {
+			t.Fatalf("%s health after warm = %+v", kind, hs)
+		}
+	}
+}
+
+// TestRecoverWALTail covers structural ops recorded after the last
+// checkpoint: they replay from the WAL in commit order.
+func TestRecoverWALTail(t *testing.T) {
+	dir := t.TempDir()
+	env1, _ := testEnv(t, true)
+	r1 := env1.NewRegistry("op")
+	for i := 0; i < 3; i++ {
+		defineCell(t, r1, i)
+		setSrc(i, float64(i))
+	}
+	p1, _, err := Open(env1, dir, Options{}, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := r1.Subscribe("cell0")
+	if err := p1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail: subscribe cell1, migrate it, drop cell0. None checkpointed.
+	if _, err := r1.Subscribe("cell1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Migrate("cell1", core.PeriodicMechanism, 25); err != nil {
+		t.Fatal(err)
+	}
+	s0.Unsubscribe()
+	// Cumulative counter: 1 pre-checkpoint subscribe + 3 tail ops.
+	if env1.Stats().WALRecords.Load() != 4 {
+		t.Fatalf("WALRecords = %d, want 4", env1.Stats().WALRecords.Load())
+	}
+	p1.Abandon()
+
+	env2, _ := testEnv(t, true)
+	r2 := env2.NewRegistry("op")
+	p2, rs2, err := Open(env2, dir, Options{}, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if rs2.WALRecords != 3 || rs2.WALTruncated {
+		t.Fatalf("tail replay = %+v", rs2)
+	}
+	if r2.IsIncluded("cell0") {
+		t.Fatal("cell0 still included after tail unsubscribe replay")
+	}
+	if !r2.IsIncluded("cell1") {
+		t.Fatal("cell1 not included after tail subscribe replay")
+	}
+	if m, _ := r2.Mechanism("cell1"); m != core.PeriodicMechanism {
+		t.Fatalf("cell1 mechanism = %v, want periodic after tail migrate replay", m)
+	}
+	if w, _ := r2.Window("cell1"); w != 25 {
+		t.Fatalf("cell1 window = %d, want 25", w)
+	}
+}
+
+// TestRecoverNoBreaker: without WithBreaker there is no quarantine to
+// serve stale values through, so recovery degrades gracefully to cold
+// recomputes — topology restored, values live, nothing restored stale.
+func TestRecoverNoBreaker(t *testing.T) {
+	dir := t.TempDir()
+	env1, _ := testEnv(t, true)
+	r1 := env1.NewRegistry("op")
+	defineCell(t, r1, 0)
+	setSrc(0, 5)
+	p1, _, err := Open(env1, dir, Options{}, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Subscribe("cell0"); err != nil {
+		t.Fatal(err)
+	}
+	p1.Checkpoint()
+	p1.Abandon()
+
+	setSrc(0, 77)
+	env2, _ := testEnv(t, false)
+	r2 := env2.NewRegistry("op")
+	p2, rs2, err := Open(env2, dir, Options{}, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if rs2.Restored != 0 || rs2.Subscribed != 1 {
+		t.Fatalf("no-breaker recovery = %+v", rs2)
+	}
+	v, err := r2.Peek("cell0")
+	if err != nil || v.(float64) != 77 {
+		t.Fatalf("cold recompute = %v, %v; want live 77", v, err)
+	}
+}
+
+// TestCorruptCheckpointFails: a damaged checkpoint is a hard error (it
+// is written atomically, so damage is real), reported as ErrCorrupt.
+func TestCorruptCheckpointFails(t *testing.T) {
+	dir := t.TempDir()
+	env1, _ := testEnv(t, true)
+	r1 := env1.NewRegistry("op")
+	defineCell(t, r1, 0)
+	p1, _, err := Open(env1, dir, Options{}, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Close()
+	path := filepath.Join(dir, "checkpoint.db")
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xFF
+	os.WriteFile(path, raw, 0o644)
+
+	env2, _ := testEnv(t, true)
+	r2 := env2.NewRegistry("op")
+	if _, _, err := Open(env2, dir, Options{}, r2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on corrupt checkpoint = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestAutoCheckpoint: CheckpointEvery rotates the WAL automatically.
+func TestAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	env, _ := testEnv(t, true)
+	r := env.NewRegistry("op")
+	for i := 0; i < 8; i++ {
+		defineCell(t, r, i)
+	}
+	p, _, err := Open(env, dir, Options{CheckpointEvery: 4}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	base := env.Stats().Checkpoints.Load() // the Open barrier
+	var held []*core.Subscription
+	for i := 0; i < 8; i++ {
+		s, err := r.Subscribe(core.Kind(fmt.Sprintf("cell%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, s)
+	}
+	if got := env.Stats().Checkpoints.Load() - base; got != 2 {
+		t.Fatalf("auto checkpoints = %d, want 2 (8 ops / every 4)", got)
+	}
+	// Only the current segment remains on disk.
+	seen := 0
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if len(e.Name()) > 4 && e.Name()[:4] == "wal." {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("%d WAL segments on disk, want 1 (rotation deletes old)", seen)
+	}
+	for _, s := range held {
+		s.Unsubscribe()
+	}
+}
+
+// TestCloseReleasesAndRestartRepins: Close writes a final checkpoint
+// before releasing its recovered pins, so repeated graceful restarts
+// keep the same subscription set.
+func TestCloseReleasesAndRestartRepins(t *testing.T) {
+	dir := t.TempDir()
+	env1, _ := testEnv(t, true)
+	r1 := env1.NewRegistry("op")
+	defineCell(t, r1, 0)
+	setSrc(0, 5)
+	p1, _, err := Open(env1, dir, Options{}, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Subscribe("cell0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for restart := 0; restart < 3; restart++ {
+		env, _ := testEnv(t, true)
+		r := env.NewRegistry("op")
+		p, rs, err := Open(env, dir, Options{}, r)
+		if err != nil {
+			t.Fatalf("restart %d: %v", restart, err)
+		}
+		if rs.Subscribed != 1 {
+			t.Fatalf("restart %d: Subscribed = %d, want stable 1", restart, rs.Subscribed)
+		}
+		if !r.IsIncluded("cell0") {
+			t.Fatalf("restart %d: cell0 not re-pinned", restart)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("restart %d close: %v", restart, err)
+		}
+	}
+}

@@ -1,0 +1,580 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// Options configures a durability plane.
+type Options struct {
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// CheckpointEvery writes an automatic checkpoint after this many
+	// WAL records (0 = manual checkpoints only, via Plane.Checkpoint or
+	// Close). The checkpoint runs inline on the structural operation
+	// that crossed the threshold.
+	CheckpointEvery int
+}
+
+// RecoveryStats reports what persist.Open found and rebuilt.
+type RecoveryStats struct {
+	// Recovered is false for a fresh start (no checkpoint, no WAL).
+	Recovered bool
+	// CheckpointSeq/CheckpointNow identify the loaded checkpoint
+	// (0 when starting from WAL only or fresh).
+	CheckpointSeq uint64
+	CheckpointNow clock.Time
+	// WALRecords counts structural ops replayed from the WAL tail;
+	// WALTruncated reports a torn/corrupt tail dropped by framing.
+	WALRecords   int
+	WALTruncated bool
+	// Defined/Subscribed/Migrated count replayed structural ops;
+	// Restored counts items re-published into the stale-serving state;
+	// Skipped counts ops and items the replay could not apply.
+	Defined    int
+	Subscribed int
+	Migrated   int
+	Restored   int
+	Skipped    int
+}
+
+type key struct{ reg, kind string }
+
+// Plane is the durability side of one Env: it implements core.Journal
+// (appending every structural op to the WAL), writes checkpoints, and
+// owns the subscriptions it re-created during recovery.
+//
+// Lock order: a structural operation holds its dependency-scope
+// component lock when Record runs, so the order is component -> Plane.mu
+// -> node-level RLocks (checkpoint reads). Nothing under Plane.mu may
+// start a structural operation.
+type Plane struct {
+	dir      string
+	env      *core.Env
+	opt      Options
+	regs     map[string]*core.Registry
+	regOrder []string
+
+	mu        sync.Mutex
+	w         *walWriter
+	seq       uint64
+	subs      map[key]int
+	held      map[key][]*core.Subscription
+	migs      map[key]migRec
+	sinceCkpt int
+	closed    bool
+	broken    error
+}
+
+func (p *Plane) walPath(seq uint64) string {
+	return filepath.Join(p.dir, fmt.Sprintf("wal.%d.log", seq))
+}
+
+// Open recovers the plane persisted in dir (if any) into env and
+// returns the attached Plane. regs are the registries the plane covers,
+// addressed by their IDs, which must be unique.
+//
+// Recovery sequence: load the last checkpoint (a corrupt checkpoint is
+// a hard ErrCorrupt error; a torn WAL tail is not), advance a virtual
+// clock to the persisted instant, re-register codec-backed definitions,
+// replay external subscriptions and migrations (checkpoint state first,
+// then the WAL tail in commit order) with initial computes suppressed,
+// re-publish every checkpointed item's last-good value in quarantine
+// (serving it tagged core.ErrStale, recovery probe armed), and finally
+// attach the journal and write a fresh barrier checkpoint. On an env
+// without WithBreaker the stale-restore phase is skipped and recovered
+// items cold-compute instead.
+func Open(env *core.Env, dir string, opt Options, regs ...*core.Registry) (*Plane, *RecoveryStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("persist: creating %s: %w", dir, err)
+	}
+	p := &Plane{
+		dir:  dir,
+		env:  env,
+		opt:  opt,
+		regs: make(map[string]*core.Registry, len(regs)),
+		subs: make(map[key]int),
+		held: make(map[key][]*core.Subscription),
+		migs: make(map[key]migRec),
+	}
+	for _, r := range regs {
+		if _, dup := p.regs[r.ID()]; dup {
+			return nil, nil, fmt.Errorf("persist: duplicate registry id %q", r.ID())
+		}
+		p.regs[r.ID()] = r
+		p.regOrder = append(p.regOrder, r.ID())
+	}
+	sort.Strings(p.regOrder)
+
+	rs, err := p.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Attach the journal only now: recovery's own replayed operations
+	// are never re-journaled.
+	env.SetJournal(p)
+	// Barrier checkpoint: the recovered state becomes the new baseline
+	// and a fresh WAL segment starts empty.
+	p.mu.Lock()
+	err = p.checkpointLocked()
+	p.mu.Unlock()
+	if err != nil {
+		env.SetJournal(nil)
+		return nil, nil, err
+	}
+	return p, rs, nil
+}
+
+// recover loads and replays dir into the env. It also seeds the
+// in-memory mirrors the next checkpoint serializes.
+func (p *Plane) recover() (*RecoveryStats, error) {
+	rs := &RecoveryStats{}
+	var data *checkpointData
+	raw, err := os.ReadFile(filepath.Join(p.dir, "checkpoint.db"))
+	switch {
+	case err == nil:
+		data, err = DecodeCheckpoint(raw)
+		if err != nil {
+			return nil, err
+		}
+	case os.IsNotExist(err):
+		// Fresh start (or checkpoint lost): replay the WAL alone.
+	default:
+		return nil, fmt.Errorf("persist: reading checkpoint: %w", err)
+	}
+
+	var tail []core.JournalOp
+	if data != nil {
+		p.seq = data.Seq
+		rs.CheckpointSeq = data.Seq
+		rs.CheckpointNow = clock.Time(data.Now)
+	}
+	walRaw, err := os.ReadFile(p.walPath(p.seq))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: reading WAL: %w", err)
+	}
+	payloads, truncated := ReplayWAL(walRaw)
+	for _, b := range payloads {
+		var rec walRec
+		if err := json.Unmarshal(b, &rec); err != nil {
+			// A framed record that is not valid JSON means the frame
+			// survived but its content did not; stop at it like a torn
+			// tail — the prefix property must hold for replay order.
+			truncated = true
+			break
+		}
+		tail = append(tail, rec.journalOp())
+	}
+	rs.WALRecords = len(tail)
+	rs.WALTruncated = truncated
+	if data == nil && len(tail) == 0 {
+		return rs, nil
+	}
+	rs.Recovered = true
+
+	// Resume the pre-crash timeline on virtual clocks so probe backoffs
+	// and window cadences recover deterministically; wall clocks are
+	// already past the persisted instant.
+	if data != nil {
+		if vc, ok := p.env.Clock().(*clock.Virtual); ok && clock.Time(data.Now) > p.env.Now() {
+			vc.AdvanceTo(clock.Time(data.Now))
+		}
+	}
+
+	// Restore-pending predicate: replayed subscriptions of checkpointed
+	// items skip their initial compute (RestoreStale below re-publishes
+	// the last-good value). Requires the breaker machinery.
+	restorable := make(map[key]bool)
+	if data != nil && p.env.HasBreaker() {
+		for _, ir := range data.Items {
+			restorable[key{ir.Reg, ir.Kind}] = true
+		}
+	}
+	if len(restorable) > 0 {
+		p.env.SetRestorePending(func(reg *core.Registry, kind core.Kind) bool {
+			return restorable[key{reg.ID(), string(kind)}]
+		})
+		defer p.env.SetRestorePending(nil)
+	}
+
+	// Checkpoint state: definitions, then external subscriptions, then
+	// the last applied migration per item.
+	if data != nil {
+		for _, dr := range data.Defines {
+			p.applyDefine(core.JournalOp{
+				Op: core.JournalDefine, Registry: dr.Reg, Kind: core.Kind(dr.Kind),
+				Codec: dr.Codec, CodecArgs: dr.Args,
+			}, rs)
+		}
+		for _, sr := range data.Subs {
+			for i := 0; i < sr.Count; i++ {
+				p.applySubscribe(core.JournalOp{
+					Op: core.JournalSubscribe, Registry: sr.Reg, Kind: core.Kind(sr.Kind),
+				}, rs)
+			}
+		}
+		for _, mr := range data.Migs {
+			p.applyMigrate(core.JournalOp{
+				Op: core.JournalMigrate, Registry: mr.Reg, Kind: core.Kind(mr.Kind),
+				To: core.Mechanism(mr.To), Window: clock.Duration(mr.Window),
+			}, rs)
+		}
+	}
+	// WAL tail, in commit order.
+	for _, op := range tail {
+		switch op.Op {
+		case core.JournalDefine:
+			p.applyDefine(op, rs)
+		case core.JournalSubscribe:
+			p.applySubscribe(op, rs)
+		case core.JournalUnsubscribe:
+			p.applyUnsubscribe(op, rs)
+		case core.JournalMigrate:
+			p.applyMigrate(op, rs)
+		default:
+			rs.Skipped++
+		}
+	}
+
+	// Degraded-mode restore: every checkpointed item still included
+	// serves its pre-crash last-good tagged ErrStale, recovery probe
+	// armed. Items excluded by the WAL tail are simply skipped.
+	if data != nil && p.env.HasBreaker() {
+		for _, ir := range data.Items {
+			reg := p.regs[ir.Reg]
+			if reg == nil || !reg.IsIncluded(core.Kind(ir.Kind)) {
+				continue
+			}
+			v, err := ir.decodeValue()
+			if err != nil {
+				rs.Skipped++
+				continue
+			}
+			cause := core.ErrRestored
+			if ir.Stale && ir.Cause != "" {
+				cause = fmt.Errorf("%w (pre-crash cause: %s)", core.ErrRestored, ir.Cause)
+			}
+			if err := reg.RestoreStale(core.Kind(ir.Kind), v, ir.Version, cause); err != nil {
+				rs.Skipped++
+				continue
+			}
+			rs.Restored++
+		}
+	}
+	p.env.Stats().Recoveries.Add(1)
+	return rs, nil
+}
+
+func (p *Plane) applyDefine(op core.JournalOp, rs *RecoveryStats) {
+	reg := p.regs[op.Registry]
+	if reg == nil {
+		rs.Skipped++
+		return
+	}
+	if reg.IsDefined(op.Kind) {
+		// Already re-registered by application code; keep its version.
+		return
+	}
+	def, err := buildDef(op.Codec, op.CodecArgs)
+	if err != nil || def.Kind != op.Kind {
+		rs.Skipped++
+		return
+	}
+	if err := reg.Define(def); err != nil {
+		rs.Skipped++
+		return
+	}
+	rs.Defined++
+}
+
+func (p *Plane) applySubscribe(op core.JournalOp, rs *RecoveryStats) {
+	k := key{op.Registry, string(op.Kind)}
+	reg := p.regs[op.Registry]
+	if reg == nil {
+		rs.Skipped++
+		return
+	}
+	sub, err := reg.Subscribe(op.Kind)
+	if err != nil {
+		rs.Skipped++
+		return
+	}
+	p.subs[k]++
+	p.held[k] = append(p.held[k], sub)
+	rs.Subscribed++
+}
+
+func (p *Plane) applyUnsubscribe(op core.JournalOp, rs *RecoveryStats) {
+	k := key{op.Registry, string(op.Kind)}
+	hs := p.held[k]
+	if len(hs) == 0 {
+		rs.Skipped++
+		return
+	}
+	sub := hs[len(hs)-1]
+	p.held[k] = hs[:len(hs)-1]
+	sub.Unsubscribe()
+	if p.subs[k]--; p.subs[k] <= 0 {
+		delete(p.subs, k)
+	}
+}
+
+func (p *Plane) applyMigrate(op core.JournalOp, rs *RecoveryStats) {
+	k := key{op.Registry, string(op.Kind)}
+	reg := p.regs[op.Registry]
+	if reg == nil {
+		rs.Skipped++
+		return
+	}
+	if err := reg.Migrate(op.Kind, op.To, op.Window); err != nil {
+		rs.Skipped++
+		return
+	}
+	p.migs[k] = migRec{Reg: op.Registry, Kind: string(op.Kind), To: uint8(op.To), Window: int64(op.Window)}
+	rs.Migrated++
+}
+
+// Record implements core.Journal: append the op to the WAL, maintain
+// the topology mirrors the next checkpoint serializes, and checkpoint
+// automatically when the record threshold is crossed. It runs with the
+// mutating operation's component lock held (see the lock-order comment
+// on Plane).
+func (p *Plane) Record(op core.JournalOp) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.broken != nil || p.w == nil {
+		return
+	}
+	k := key{op.Registry, string(op.Kind)}
+	switch op.Op {
+	case core.JournalDefine:
+		// No mirror: checkpoints read PersistableDefinitions from the
+		// live registry, which also covers pre-attach defines.
+	case core.JournalSubscribe:
+		p.subs[k]++
+	case core.JournalUnsubscribe:
+		if p.subs[k]--; p.subs[k] <= 0 {
+			delete(p.subs, k)
+		}
+	case core.JournalMigrate:
+		p.migs[k] = migRec{Reg: op.Registry, Kind: string(op.Kind), To: uint8(op.To), Window: int64(op.Window)}
+	}
+	payload, err := json.Marshal(walRecOf(op))
+	if err != nil {
+		p.failLocked(err)
+		return
+	}
+	if err := p.w.append(payload); err != nil {
+		p.failLocked(err)
+		return
+	}
+	st := p.env.Stats()
+	st.WALRecords.Add(1)
+	st.WALBytes.Store(p.w.bytes)
+	p.sinceCkpt++
+	if p.opt.CheckpointEvery > 0 && p.sinceCkpt >= p.opt.CheckpointEvery {
+		if err := p.checkpointLocked(); err != nil {
+			p.failLocked(err)
+		}
+	}
+}
+
+// failLocked records the first persistence failure and stops journaling
+// — the plane degrades to non-durable rather than wedging structural
+// operations. Err surfaces it.
+func (p *Plane) failLocked(err error) {
+	if p.broken == nil {
+		p.broken = err
+	}
+	if p.w != nil {
+		p.w.close()
+		p.w = nil
+	}
+}
+
+// Err returns the first persistence failure, or nil. A non-nil error
+// means journaling stopped at that point and the on-disk state is
+// frozen at the last successful write.
+func (p *Plane) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.broken
+}
+
+// Checkpoint writes a full-plane checkpoint now and truncates the WAL
+// at the barrier.
+func (p *Plane) Checkpoint() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("persist: plane closed")
+	}
+	if p.broken != nil {
+		return p.broken
+	}
+	return p.checkpointLocked()
+}
+
+// checkpointLocked serializes the plane — mirrors for topology, live
+// node-level reads for item snapshots — writes it atomically, and
+// rotates the WAL segment. It takes no component locks: values,
+// versions, and health come from the node-RLock read primitives, and
+// subscription counts from the plane's own mirror, so it is safe to run
+// inline from Record (which holds a component lock).
+func (p *Plane) checkpointLocked() error {
+	now := p.env.Now()
+	d := &checkpointData{Seq: p.seq + 1, Now: int64(now)}
+	for _, id := range p.regOrder {
+		for _, pd := range p.regs[id].PersistableDefinitions() {
+			d.Defines = append(d.Defines, defineRec{Reg: id, Kind: string(pd.Kind), Codec: pd.Codec, Args: pd.Args})
+		}
+	}
+	for _, k := range sortedKeys(p.subs) {
+		d.Subs = append(d.Subs, subRec{Reg: k.reg, Kind: k.kind, Count: p.subs[k]})
+	}
+	for _, k := range sortedKeys(p.migs) {
+		// The mirror is last-written intent; an item fully released since
+		// its migration reverts to its definition's default mechanism on
+		// re-include, so only migrations still live on an included handler
+		// are replayable state.
+		mr := p.migs[k]
+		reg := p.regs[k.reg]
+		if reg == nil {
+			continue
+		}
+		if mech, ok := reg.Mechanism(core.Kind(k.kind)); !ok || uint8(mech) != mr.To {
+			continue
+		}
+		if mr.To == uint8(core.PeriodicMechanism) {
+			if w, ok := reg.Window(core.Kind(k.kind)); ok {
+				mr.Window = int64(w)
+			}
+		}
+		d.Migs = append(d.Migs, mr)
+	}
+	for _, id := range p.regOrder {
+		reg := p.regs[id]
+		for _, kind := range reg.Included() {
+			if mech, ok := reg.Mechanism(kind); !ok || mech == core.StaticMechanism {
+				// Static values are rebuilt by Build at replay time;
+				// there is nothing stale to restore.
+				continue
+			}
+			ver, ok := reg.ItemVersion(kind)
+			if !ok {
+				continue
+			}
+			v, err := reg.Peek(kind)
+			rec := itemRec{Reg: id, Kind: string(kind), Version: ver}
+			if err != nil {
+				if !errors.Is(err, core.ErrStale) {
+					// No last-good value to serve after recovery.
+					continue
+				}
+				rec.Stale = true
+				var se *core.StaleError
+				if errors.As(err, &se) && se.Cause != nil {
+					rec.Cause = se.Cause.Error()
+				}
+			}
+			if !rec.encodeValue(v) {
+				continue
+			}
+			d.Items = append(d.Items, rec)
+		}
+	}
+	if err := writeCheckpoint(p.dir, d); err != nil {
+		return err
+	}
+	neww, err := openWAL(p.walPath(d.Seq), p.opt.Sync)
+	if err != nil {
+		return err
+	}
+	old, oldSeq := p.w, p.seq
+	p.w, p.seq, p.sinceCkpt = neww, d.Seq, 0
+	if old != nil {
+		old.close()
+	}
+	os.Remove(p.walPath(oldSeq))
+	st := p.env.Stats()
+	st.Checkpoints.Add(1)
+	st.CheckpointAt.Store(int64(now))
+	st.WALBytes.Store(0)
+	return nil
+}
+
+// Close writes a final checkpoint, detaches the journal, and releases
+// the subscriptions recovery re-created (the checkpoint already carries
+// them, so the next recovery re-pins them).
+func (p *Plane) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	var err error
+	if p.broken == nil {
+		err = p.checkpointLocked()
+	} else {
+		err = p.broken
+	}
+	p.env.SetJournal(nil)
+	if p.w != nil {
+		p.w.close()
+		p.w = nil
+	}
+	p.closed = true
+	held := p.held
+	p.held = nil
+	p.mu.Unlock()
+	// Release outside p.mu: Unsubscribe takes component locks, and the
+	// lock order is component -> Plane.mu, never the reverse.
+	for _, hs := range held {
+		for _, sub := range hs {
+			sub.Unsubscribe()
+		}
+	}
+	return err
+}
+
+// Abandon simulates a crash for tests: stop journaling and close file
+// handles without a final checkpoint and without releasing recovered
+// subscriptions. The on-disk state is exactly what a SIGKILL at this
+// instant would leave.
+func (p *Plane) Abandon() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.env.SetJournal(nil)
+	if p.w != nil {
+		p.w.close()
+		p.w = nil
+	}
+	p.closed = true
+}
+
+// sortedKeys returns m's keys ordered by (reg, kind) for deterministic
+// checkpoint bytes.
+func sortedKeys[V any](m map[key]V) []key {
+	ks := make([]key, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].reg != ks[j].reg {
+			return ks[i].reg < ks[j].reg
+		}
+		return ks[i].kind < ks[j].kind
+	})
+	return ks
+}

@@ -48,7 +48,7 @@ func (c *Client) Watch(ctx context.Context, registry, kind string, since uint64)
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
-		return nil, fmt.Errorf("watch: %s: %s", resp.Status, bytes.TrimSpace(body))
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)

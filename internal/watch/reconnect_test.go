@@ -1,0 +1,143 @@
+package watch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// flapWriter lets a fixed number of SSE data frames through, then
+// aborts the connection — a server that keeps dying mid-stream.
+type flapWriter struct {
+	http.ResponseWriter
+	remaining *int
+}
+
+func (w *flapWriter) Write(p []byte) (int, error) {
+	if bytes.HasPrefix(p, []byte("data: ")) {
+		if *w.remaining <= 0 {
+			panic(http.ErrAbortHandler)
+		}
+		*w.remaining--
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *flapWriter) Flush() { w.ResponseWriter.(http.Flusher).Flush() }
+
+func flapEvery(h http.Handler, frames int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := frames
+		h.ServeHTTP(&flapWriter{w, &n}, req)
+	})
+}
+
+func TestWatchReconnectFlappingServer(t *testing.T) {
+	env, r, _, publish := testPlane(t)
+	h := NewHub(env)
+	defer h.Close()
+	// Every connection dies after two frames: the stream below must
+	// reconnect repeatedly to stay gapless.
+	srv := httptest.NewServer(flapEvery(NewServer(h, env, r).Handler(), 2))
+	defer srv.Close()
+
+	// Pin the item so versions survive disconnects (the hub pin is
+	// otherwise the only subscription).
+	sub, err := r.Subscribe("val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rs := NewClient(srv.URL).WatchReconnect(ctx, "n1", "val", 0, ReconnectOptions{
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     8 * time.Millisecond,
+	})
+	defer rs.Close()
+
+	f, err := rs.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Snapshot || f.Version != 1 {
+		t.Fatalf("first frame = %+v, want snapshot v1", f)
+	}
+	last := f.Version
+	snapshots := 0
+	for i := 0; i < 10; i++ {
+		publish()
+		h.Barrier()
+		f, err := rs.Next()
+		if err != nil {
+			t.Fatalf("frame after publish %d: %v", i, err)
+		}
+		if f.Version != last+1 {
+			t.Fatalf("version gap: %+v after v%d", f, last)
+		}
+		last = f.Version
+		if f.Snapshot {
+			snapshots++
+		}
+	}
+	// With 11 frames total and 2 per connection, at least 4 reconnects
+	// happened; each catch-up is one Snapshot-flagged frame, never a
+	// replayed delta (the gapless versions above prove no replay).
+	if snapshots < 2 {
+		t.Fatalf("snapshots = %d, want >= 2 reconnect catch-ups", snapshots)
+	}
+	if rs.LastSeen() != last {
+		t.Fatalf("LastSeen = %d, want %d", rs.LastSeen(), last)
+	}
+}
+
+func TestWatchReconnectPermanentError(t *testing.T) {
+	env, r, _, _ := testPlane(t)
+	h := NewHub(env)
+	defer h.Close()
+	srv := httptest.NewServer(NewServer(h, env, r).Handler())
+	defer srv.Close()
+
+	// Unknown registry is a 4xx: surfaced immediately, not retried.
+	rs := NewClient(srv.URL).WatchReconnect(context.Background(), "nope", "val", 0, ReconnectOptions{})
+	_, err := rs.Next()
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want StatusError 404", err)
+	}
+}
+
+func TestWatchReconnectGivesUpAfterMaxAttempts(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	base := srv.URL
+	srv.Close() // nothing listening: every dial fails
+
+	slept := 0
+	rs := NewClient(base).WatchReconnect(context.Background(), "n1", "val", 0, ReconnectOptions{
+		MaxAttempts: 3,
+		sleep: func(context.Context, time.Duration) error {
+			slept++
+			return nil
+		},
+	})
+	if _, err := rs.Next(); err == nil {
+		t.Fatal("Next succeeded against a dead server")
+	}
+	if slept != 2 { // attempts 1 and 2 sleep; attempt 3 returns the error
+		t.Fatalf("slept %d times, want 2", slept)
+	}
+}
+
+func TestWatchReconnectCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs := NewClient("http://127.0.0.1:0").WatchReconnect(ctx, "n1", "val", 0, ReconnectOptions{})
+	if _, err := rs.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

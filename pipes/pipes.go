@@ -32,6 +32,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/monitor"
 	"repro/internal/ops"
+	"repro/internal/persist"
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/stream"
@@ -174,6 +175,16 @@ type System struct {
 	adaptArmed bool
 	adaptLog   []Migration
 
+	// Durability (see durability.go): configured by WithDurability,
+	// activated by OpenDurability once the graph exists.
+	durDir  string
+	durOpts DurabilityOptions
+	plane   *persist.Plane
+
+	// hasBreaker tracks an explicit WithBreaker, so WithDurability can
+	// arm the default breaker only when the caller did not choose one.
+	hasBreaker bool
+
 	// hub is the system's watch fan-out hub, created on first use (see
 	// watch.go).
 	hub *WatchHub
@@ -229,7 +240,10 @@ func WithMemoizedOnDemand() SystemOption {
 // backoff until it recovers. A zero policy selects
 // DefaultBreakerPolicy.
 func WithBreaker(p BreakerPolicy) SystemOption {
-	return func(s *System) { s.envOpts = append(s.envOpts, core.WithBreaker(p)) }
+	return func(s *System) {
+		s.hasBreaker = true
+		s.envOpts = append(s.envOpts, core.WithBreaker(p))
+	}
 }
 
 // WithScheduling switches execution to budget mode: every tick time
@@ -261,6 +275,12 @@ func NewSystem(opts ...SystemOption) *System {
 	var envOpts []core.EnvOption
 	if s.pool != nil {
 		envOpts = append(envOpts, core.WithUpdater(s.pool))
+	}
+	if s.durDir != "" && !s.hasBreaker {
+		// Durable systems need the quarantine machinery: recovery serves
+		// checkpointed values stale through it. An explicit WithBreaker
+		// (appended below) overrides this default.
+		envOpts = append(envOpts, core.WithBreaker(DefaultBreakerPolicy))
 	}
 	envOpts = append(envOpts, s.envOpts...)
 	s.env = core.NewEnv(s.vc, envOpts...)
