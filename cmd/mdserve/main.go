@@ -11,6 +11,9 @@
 //	mdserve -seconds 10          # serve for 10 seconds, then exit
 //	mdserve -durable ./mdstate   # persist the metadata plane; restarts
 //	                             # recover topology + last-good values
+//	mdserve -relay URL           # no local pipeline: mirror the mdserve
+//	                             # at URL over ONE upstream mux session
+//	                             # and re-serve its items here
 //
 // With -durable, SIGINT/SIGTERM triggers a graceful shutdown: the HTTP
 // server drains open SSE streams under a deadline and a final
@@ -18,7 +21,13 @@
 // pins and version streams (since-based watch catch-up keeps working
 // across the restart).
 //
-// Endpoints: /watch?registry=N&kind=K[&since=V], /items, /stats.
+// With -relay, this instance is a fan-out tier: however many clients
+// watch here, the upstream pays one connection and one event per
+// publication. If the upstream restarts, the relay reconnects and
+// resumes every watch from its last seen version (one snapshot each).
+//
+// Endpoints: /watch?registry=N&kind=K[&since=V], /mux, /mux/watch,
+// /mux/stream, /items, /stats.
 package main
 
 import (
@@ -46,7 +55,26 @@ func main() {
 	addr := flag.String("addr", "localhost:7171", "listen address")
 	seconds := flag.Int("seconds", 0, "serve for this many seconds, then exit (0 = until interrupted)")
 	durable := flag.String("durable", "", "directory for the durable metadata plane (empty = in-memory only)")
+	relay := flag.String("relay", "", "serve as a relay mirroring the mdserve at this base URL (no local pipeline)")
 	flag.Parse()
+
+	if *relay != "" {
+		rs, err := startRelay(*addr, *relay, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *seconds > 0 {
+			time.Sleep(time.Duration(*seconds) * time.Second)
+			rs.Shutdown()
+			return
+		}
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
+		rs.Shutdown()
+		return
+	}
 
 	d, err := startDemo(*addr, *durable, os.Stdout)
 	if err != nil {
@@ -63,6 +91,60 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	d.Shutdown(os.Stdout)
+}
+
+// relayServer is a running mdserve -relay instance.
+type relayServer struct {
+	// URL is the server's base URL with the actually bound address.
+	URL string
+
+	hs     *http.Server
+	relay  *watch.Relay
+	cancel context.CancelFunc
+}
+
+// startRelay mirrors the mdserve at upstream through one mux session
+// and re-serves its items on addr.
+func startRelay(addr, upstream string, out io.Writer) (*relayServer, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := watch.NewRelay(ctx, upstream, watch.RelayOptions{
+		OnResume: func(watches int) {
+			fmt.Fprintf(out, "mdserve: relay resumed upstream session (%d watches, one snapshot each)\n", watches)
+		},
+	})
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	srv := watch.NewSourceServer(r)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		r.Close()
+		cancel()
+		return nil, err
+	}
+	rs := &relayServer{
+		URL:    "http://" + ln.Addr().String(),
+		hs:     &http.Server{Handler: srv.Handler()},
+		relay:  r,
+		cancel: cancel,
+	}
+	fmt.Fprintf(out, "mdserve: relaying %s on %s (%d watches over 1 upstream connection)\n",
+		upstream, rs.URL, r.Watches())
+	go rs.hs.Serve(ln)
+	return rs, nil
+}
+
+// Shutdown stops the relay: the upstream session and local watchers
+// close first (ending open streams so the HTTP server can drain).
+func (rs *relayServer) Shutdown() {
+	rs.relay.Close()
+	rs.cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if err := rs.hs.Shutdown(ctx); err != nil {
+		rs.hs.Close()
+	}
+	cancel()
 }
 
 // demo is a running mdserve instance: a wall-clock pipeline, a watch

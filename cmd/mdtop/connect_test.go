@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,9 +14,30 @@ import (
 	"repro/internal/watch"
 )
 
-// TestConnectEndToEnd points runConnect at an in-process watch server
-// and checks the printed frames and hub stat line.
-func TestConnectEndToEnd(t *testing.T) {
+// syncBuf makes the output buffer safe for the mux reconnector's
+// OnResume callback, which writes from its own goroutine.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// connectServer starts an in-process watch server over one triggered
+// item ("n1/val") plus its static source, with steady publications so
+// delta frames keep arriving. Cleanup is registered on t.
+func connectServer(t *testing.T) *httptest.Server {
+	t.Helper()
 	env := core.NewEnv(clock.NewVirtual())
 	r := env.NewRegistry("n1")
 	r.MustDefine(&core.Definition{
@@ -34,13 +56,12 @@ func TestConnectEndToEnd(t *testing.T) {
 	})
 
 	h := watch.NewHub(env)
-	defer h.Close()
+	t.Cleanup(h.Close)
 	srv := httptest.NewServer(watch.NewServer(h, env, r).Handler())
-	defer srv.Close()
+	t.Cleanup(srv.Close)
 
-	// Steady publications so runConnect's delta frames arrive.
 	done := make(chan struct{})
-	defer close(done)
+	t.Cleanup(func() { close(done) })
 	go func() {
 		for {
 			select {
@@ -53,32 +74,74 @@ func TestConnectEndToEnd(t *testing.T) {
 			time.Sleep(2 * time.Millisecond)
 		}
 	}()
+	return srv
+}
 
-	var buf bytes.Buffer
-	if err := runConnect(srv.URL, "n1/val", 3, 0, &buf); err != nil {
+// TestConnectEndToEnd points runConnect's default mux transport at an
+// in-process watch server and checks the printed frames and stat
+// lines.
+func TestConnectEndToEnd(t *testing.T) {
+	srv := connectServer(t)
+
+	var buf syncBuf
+	if err := runConnect(srv.URL, "n1/val", 3, 0, false, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	for _, want := range []string{
-		"watching n1/val",
+		"watching 1 item(s)",
+		"via mux",
+		"mdtop: mux session attached (1 watches over 1 connection)",
 		"S ", // snapshot-tagged first frame
+		"n1/val",
 		"watch hub: watchers=",
 		"catchUps=",
+		"mux: sessions=",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
 	}
-	if lines := strings.Count(out, "\n"); lines < 6 {
-		t.Fatalf("output has %d lines, want >= 6 (header + 3 frames + stats):\n%s", lines, out)
+	if lines := strings.Count(out, "\n"); lines < 7 {
+		t.Fatalf("output has %d lines, want >= 7 (banner + header + 3 frames + stats):\n%s", lines, out)
 	}
 
-	// Item discovery: empty -item picks the first advertised pair.
-	buf.Reset()
-	if err := runConnect(srv.URL, "", 1, 0, &buf); err != nil {
+	// Item discovery: empty -item watches every advertised pair over
+	// the one session.
+	buf = syncBuf{}
+	if err := runConnect(srv.URL, "", 1, 0, false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "watching 2 item(s)") {
+		t.Fatalf("discovery output = %q, want watching 2 item(s)", buf.String())
+	}
+}
+
+// TestConnectLegacySSE covers the -legacy per-item SSE ablation path.
+func TestConnectLegacySSE(t *testing.T) {
+	srv := connectServer(t)
+
+	var buf syncBuf
+	if err := runConnect(srv.URL, "n1/val", 3, 0, true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"watching n1/val",
+		"S ",
+		"watch hub: watchers=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("legacy output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Legacy discovery picks the first advertised pair.
+	buf = syncBuf{}
+	if err := runConnect(srv.URL, "", 1, 0, true, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "watching n1/") {
-		t.Fatalf("discovery output = %q, want watching n1/...", buf.String())
+		t.Fatalf("legacy discovery output = %q, want watching n1/...", buf.String())
 	}
 }

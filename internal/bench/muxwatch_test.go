@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE25MuxShape pins the experiment's structural claims on small
+// sizes: the mux transport uses exactly one connection whatever the
+// watch count, every watch converges on the final version on both
+// transports, and batching never inflates the delivered count past
+// the unbatched bound.
+func TestE25MuxShape(t *testing.T) {
+	rows := RunE25([]int{4, 64}, 30)
+	byMode := map[string][]E25Row{}
+	for _, r := range rows {
+		byMode[r.Mode] = append(byMode[r.Mode], r)
+	}
+	if len(byMode["mux"]) != 2 || len(byMode["sse"]) != 2 {
+		t.Fatalf("rows = %+v; want 2 per mode", rows)
+	}
+	for _, r := range byMode["mux"] {
+		if r.Conns != 1 {
+			t.Fatalf("mux at %d watches used %d conns, want 1", r.Watches, r.Conns)
+		}
+		if r.Delivered < int64(r.Watches) || r.Delivered > int64(r.Watches*r.Publishes) {
+			t.Fatalf("mux delivered %d at %d watches, want within [%d, %d]",
+				r.Delivered, r.Watches, r.Watches, r.Watches*r.Publishes)
+		}
+		if r.Frames < 1 || r.EventsPerFrame < 1 {
+			t.Fatalf("mux framing at %d watches: frames=%d events/frame=%.1f",
+				r.Watches, r.Frames, r.EventsPerFrame)
+		}
+	}
+	for _, r := range byMode["sse"] {
+		if r.Conns != r.Watches {
+			t.Fatalf("sse at %d watches used %d conns, want %d", r.Watches, r.Conns, r.Watches)
+		}
+		if r.Delivered < int64(r.Watches) || r.Delivered > int64(r.Watches*r.Publishes) {
+			t.Fatalf("sse delivered %d at %d watches, want within [%d, %d]",
+				r.Delivered, r.Watches, r.Watches, r.Watches*r.Publishes)
+		}
+	}
+
+	// The ablation cap: above it only mux rows appear.
+	capped := RunE25([]int{E25SSEConnCap + 1}, 5)
+	if len(capped) != 1 || capped[0].Mode != "mux" {
+		t.Fatalf("above the conn cap rows = %+v; want one mux row", capped)
+	}
+
+	var b strings.Builder
+	E25Table(rows).Fprint(&b)
+	for _, want := range []string{"E25", "mux", "sse", "events/frame", "ns/event"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, b.String())
+		}
+	}
+}

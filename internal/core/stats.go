@@ -117,6 +117,25 @@ type Stats struct {
 	// CatchUps counts snapshot-then-delta catch-ups delivered to late
 	// or lagging joiners (one Peek snapshot, then deltas only).
 	CatchUps atomic.Int64
+	// MuxSessions is the current number of live mux transport sessions
+	// (a gauge, like Watchers: Sub keeps the newer snapshot's value).
+	MuxSessions atomic.Int64
+	// MuxFrames counts batched binary frames written to mux streams
+	// (heartbeats excluded); MuxEvents/MuxFrames is the amortization
+	// factor — events delivered per write.
+	MuxFrames atomic.Int64
+	// MuxEvents counts watch events carried inside mux frames.
+	MuxEvents atomic.Int64
+	// MuxHeartbeats counts heartbeat frames written to mux streams plus
+	// keepalive comments written to legacy SSE streams.
+	MuxHeartbeats atomic.Int64
+	// RelayEvents counts upstream events a relay republished into its
+	// local fan-out hub.
+	RelayEvents atomic.Int64
+	// RelayResumes counts upstream reconnect-with-resume cycles a relay
+	// completed (each costs at most one Snapshot frame per behind
+	// watch, not a re-subscribe storm).
+	RelayResumes atomic.Int64
 	// WALRecords counts structural ops appended to the durability WAL
 	// (internal/persist) since process start.
 	WALRecords atomic.Int64
@@ -191,6 +210,12 @@ type Snapshot struct {
 	CoalescedWakeups     int64
 	ShedNotifies         int64
 	CatchUps             int64
+	MuxSessions          int64
+	MuxFrames            int64
+	MuxEvents            int64
+	MuxHeartbeats        int64
+	RelayEvents          int64
+	RelayResumes         int64
 	WALRecords           int64
 	WALBytes             int64
 	Checkpoints          int64
@@ -235,6 +260,12 @@ func (s *Stats) Snapshot() Snapshot {
 		CoalescedWakeups:     s.CoalescedWakeups.Load(),
 		ShedNotifies:         s.ShedNotifies.Load(),
 		CatchUps:             s.CatchUps.Load(),
+		MuxSessions:          s.MuxSessions.Load(),
+		MuxFrames:            s.MuxFrames.Load(),
+		MuxEvents:            s.MuxEvents.Load(),
+		MuxHeartbeats:        s.MuxHeartbeats.Load(),
+		RelayEvents:          s.RelayEvents.Load(),
+		RelayResumes:         s.RelayResumes.Load(),
 		WALRecords:           s.WALRecords.Load(),
 		WALBytes:             s.WALBytes.Load(),
 		Checkpoints:          s.Checkpoints.Load(),
@@ -284,7 +315,14 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		CoalescedWakeups: s.CoalescedWakeups - t.CoalescedWakeups,
 		ShedNotifies:     s.ShedNotifies - t.ShedNotifies,
 		CatchUps:         s.CatchUps - t.CatchUps,
-		WALRecords:       s.WALRecords - t.WALRecords,
+		// MuxSessions is a gauge like Watchers: keep the newer value.
+		MuxSessions:   s.MuxSessions,
+		MuxFrames:     s.MuxFrames - t.MuxFrames,
+		MuxEvents:     s.MuxEvents - t.MuxEvents,
+		MuxHeartbeats: s.MuxHeartbeats - t.MuxHeartbeats,
+		RelayEvents:   s.RelayEvents - t.RelayEvents,
+		RelayResumes:  s.RelayResumes - t.RelayResumes,
+		WALRecords:    s.WALRecords - t.WALRecords,
 		// WALBytes and CheckpointAt are gauges: keep the newer values.
 		WALBytes:      s.WALBytes,
 		Checkpoints:   s.Checkpoints - t.Checkpoints,

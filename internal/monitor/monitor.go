@@ -332,6 +332,22 @@ func (p OverheadProfile) FormatWatch() string {
 		p.Window.ShedNotifies, p.Window.CatchUps)
 }
 
+// FormatMux renders the window's network-tier counters as a one-line
+// summary: live mux sessions (a gauge: end-of-window state), batched
+// event frames written with the events they carried and the resulting
+// amortization factor (events per write), heartbeats sent, and —
+// when this process is a relay — upstream events republished locally
+// and completed reconnect-with-resume cycles.
+func (p OverheadProfile) FormatMux() string {
+	epf := 0.0
+	if p.Window.MuxFrames > 0 {
+		epf = float64(p.Window.MuxEvents) / float64(p.Window.MuxFrames)
+	}
+	return fmt.Sprintf("muxSessions=%d muxFrames=%d muxEvents=%d eventsPerFrame=%.1f heartbeats=%d relayEvents=%d relayResumes=%d",
+		p.Window.MuxSessions, p.Window.MuxFrames, p.Window.MuxEvents, epf,
+		p.Window.MuxHeartbeats, p.Window.RelayEvents, p.Window.RelayResumes)
+}
+
 // FormatDurability renders the window's durable-plane counters as a
 // one-line summary: WAL appends in the window and the current segment
 // size, checkpoints written with the age of the newest one

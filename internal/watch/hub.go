@@ -50,6 +50,12 @@ type Options struct {
 	// When the ring is full the newest slot is overwritten with the
 	// latest event (coalesce-to-latest).
 	Buffer int
+	// Notify, when non-nil, is invoked (never blocking on the caller's
+	// behalf — it must only do non-blocking work, e.g. a cap-1 channel
+	// send) after every event enqueued to the watcher's ring, in
+	// addition to the watcher's own signal channel. A mux Session uses
+	// it to aggregate any number of watchers into one wakeup.
+	Notify func()
 }
 
 // pointKey addresses one watched item.
@@ -290,19 +296,8 @@ func (h *Hub) Watch(reg *core.Registry, kind core.Kind, opt Options) (*Watcher, 
 	h.mu.Unlock()
 	h.stats.Watchers.Add(1)
 
-	buffer := opt.Buffer
-	if buffer <= 0 {
-		buffer = DefaultBuffer
-	}
-	w := &Watcher{
-		hub:      h,
-		p:        p,
-		shardIdx: int(h.nextShard.Add(1) % shardCount),
-		ring:     make([]Event, buffer),
-		lastSent: opt.Since,
-		signal:   make(chan struct{}, 1),
-		done:     make(chan struct{}),
-	}
+	w := newWatcher(h.stats, opt.Buffer, opt.Since, opt.Notify, func(w *Watcher) { h.remove(p, w) })
+	w.shardIdx = int(h.nextShard.Add(1) % shardCount)
 	sh := &p.shards[w.shard()]
 	// Catch-up and registration are atomic under the shard lock (the
 	// sweeper takes it to deliver): a publication before the version
@@ -329,8 +324,7 @@ func (h *Hub) Watch(reg *core.Registry, kind core.Kind, opt Options) (*Watcher, 
 // remove unregisters w from its point and tears the point down when
 // the last watcher leaves: the sink is uninstalled and the pinning
 // subscription released, so an unwatched item costs nothing again.
-func (h *Hub) remove(w *Watcher) {
-	p := w.p
+func (h *Hub) remove(p *point, w *Watcher) {
 	sh := &p.shards[w.shard()]
 	sh.mu.Lock()
 	_, ok := sh.watchers[w]

@@ -1,0 +1,369 @@
+package watch
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// muxTestServer serves the test plane over a real HTTP listener.
+func muxTestServer(t *testing.T, heartbeat time.Duration) (*httptest.Server, *Hub, func()) {
+	t.Helper()
+	env, r, _, publish := testPlane(t)
+	h := NewHub(env)
+	t.Cleanup(h.Close)
+	srv := NewServer(h, env, r)
+	if heartbeat > 0 {
+		srv.SetHeartbeat(heartbeat)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, h, publish
+}
+
+// fastReconnect is a reconnect policy tight enough for tests.
+func fastReconnect() ReconnectOptions {
+	return ReconnectOptions{InitialBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond}
+}
+
+func TestMuxSessionEndToEnd(t *testing.T) {
+	ts, h, publish := muxTestServer(t, 0)
+	c := NewClient(ts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	m, err := c.Mux(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Two independent watches on the same item, one connection. (The
+	// static "src" item never publishes, so both ride "val".)
+	rejects, err := m.Add(ctx, map[uint64]MuxWatch{
+		1: {Registry: "n1", Kind: "val"},
+		2: {Registry: "n1", Kind: "val"},
+	})
+	if err != nil || len(rejects) != 0 {
+		t.Fatalf("Add = %v, %v", rejects, err)
+	}
+
+	// Both watches catch up with their inclusion snapshots through the
+	// one stream.
+	snaps := map[uint64]MuxEvent{}
+	for len(snaps) < 2 {
+		ev, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[ev.ID] = ev
+	}
+	for id, ev := range snaps {
+		if !ev.Snapshot || ev.Version != 1 {
+			t.Fatalf("watch %d snapshot = %+v", id, ev)
+		}
+	}
+
+	publish()
+	h.Barrier()
+	deltas := map[uint64]MuxEvent{}
+	for len(deltas) < 2 {
+		ev, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas[ev.ID] = ev
+	}
+	for id, ev := range deltas {
+		if ev.Version != 2 || ev.Snapshot || !ev.Numeric || ev.Value != 1 {
+			t.Fatalf("watch %d delta = %+v; want v2 value 1", id, ev)
+		}
+	}
+
+	// Remove watch 1, then prove the removal took effect server-side:
+	// after a publish plus a fresh add, the stream carries watch 2's
+	// delta and watch 3's snapshot but nothing for id 1.
+	if err := m.Remove(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	publish()
+	h.Barrier()
+	if rejects, err := m.Add(ctx, map[uint64]MuxWatch{3: {Registry: "n1", Kind: "val"}}); err != nil || len(rejects) != 0 {
+		t.Fatalf("re-add = %v, %v", rejects, err)
+	}
+	got := map[uint64]MuxEvent{}
+	for len(got) < 2 {
+		ev, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.ID == 1 {
+			t.Fatalf("removed watch still delivered: %+v", ev)
+		}
+		got[ev.ID] = ev
+	}
+	if ev := got[2]; ev.Version != 3 || ev.Snapshot {
+		t.Fatalf("watch 2 post-remove = %+v; want v3 delta", ev)
+	}
+	if ev := got[3]; !ev.Snapshot || ev.Version != 3 {
+		t.Fatalf("watch 3 post-remove = %+v; want v3 snapshot", ev)
+	}
+	if m.Events() < 4 || m.Frames() < 1 || m.Events() < m.Frames() {
+		t.Fatalf("counters: frames=%d events=%d", m.Frames(), m.Events())
+	}
+}
+
+func TestMuxControlErrors(t *testing.T) {
+	ts, _, _ := muxTestServer(t, 0)
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	m, err := c.Mux(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Per-id errors: the bad watch is reported, the good one works.
+	rejects, err := m.Add(ctx, map[uint64]MuxWatch{
+		1: {Registry: "nope", Kind: "val"},
+		2: {Registry: "n1", Kind: "bogus"},
+		3: {Registry: "n1", Kind: "val"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejects) != 2 || rejects[1] == "" || rejects[2] == "" {
+		t.Fatalf("rejects = %v; want errors for ids 1 and 2", rejects)
+	}
+	if ev, err := m.Next(); err != nil || ev.ID != 3 || !ev.Snapshot {
+		t.Fatalf("good watch event = %+v, %v", ev, err)
+	}
+
+	// Unknown sessions answer 410 Gone — the redial signal.
+	var se *StatusError
+	if _, err := (&MuxSession{c: c, id: "deadbeef"}).Add(ctx, map[uint64]MuxWatch{1: {Registry: "n1", Kind: "val"}}); !errors.As(err, &se) || se.Code != 410 {
+		t.Fatalf("unknown session Add = %v; want 410", err)
+	}
+}
+
+func TestMuxStreamSingleAttach(t *testing.T) {
+	ts, _, _ := muxTestServer(t, 0)
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+	m, err := c.Mux(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// A second stream attach on the same session must be refused; the
+	// session id is single-consumer by construction.
+	resp, err := ts.Client().Get(ts.URL + "/mux/stream?session=" + m.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 409 {
+		t.Fatalf("second attach status = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestMuxHeartbeatsKeepSessionAlive(t *testing.T) {
+	ts, _, _ := muxTestServer(t, 10*time.Millisecond)
+	c := NewClient(ts.URL)
+	c.HeartbeatTimeout = 150 * time.Millisecond
+	ctx := context.Background()
+	m, err := c.Mux(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Add(ctx, map[uint64]MuxWatch{1: {Registry: "n1", Kind: "val"}}); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := m.Next(); err != nil || !ev.Snapshot {
+		t.Fatalf("snapshot = %+v, %v", ev, err)
+	}
+	// Idle for several watchdog periods with Next blocked on the
+	// stream: each server heartbeat frame resets the watchdog, so the
+	// session stays alive well past the timeout.
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Next()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Next returned during idle: %v", err)
+	case <-time.After(400 * time.Millisecond):
+	}
+}
+
+func TestMuxHeartbeatTimeout(t *testing.T) {
+	// A server that never heartbeats trips the client watchdog.
+	ts, _, _ := muxTestServer(t, time.Hour)
+	c := NewClient(ts.URL)
+	c.HeartbeatTimeout = 50 * time.Millisecond
+	ctx := context.Background()
+	m, err := c.Mux(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Add(ctx, map[uint64]MuxWatch{1: {Registry: "n1", Kind: "val"}}); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := m.Next(); err != nil || !ev.Snapshot {
+		t.Fatalf("snapshot = %+v, %v", ev, err)
+	}
+	if _, err := m.Next(); err != ErrHeartbeatTimeout {
+		t.Fatalf("idle Next = %v, want ErrHeartbeatTimeout", err)
+	}
+}
+
+func TestReconnectMuxResumesWithOneSnapshot(t *testing.T) {
+	ts, h, publish := muxTestServer(t, 0)
+	c := NewClient(ts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Pin the item with an independent session: versions are
+	// per-inclusion, so without another watcher the server would
+	// release the item (and restart its version stream) the moment the
+	// severed session is torn down.
+	pin, err := c.Mux(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Close()
+	if _, err := pin.Add(ctx, map[uint64]MuxWatch{1: {Registry: "n1", Kind: "val"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	resumes := 0
+	m := c.MuxReconnect(ctx, fastReconnect())
+	m.OnResume = func(int) { resumes++ }
+	if err := m.Add(1, MuxWatch{Registry: "n1", Kind: "val"}); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Catch up to v3.
+	publish()
+	publish()
+	h.Barrier()
+	var last uint64
+	for last < 3 {
+		ev, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = ev.Version
+	}
+	if m.LastSeen(1) != 3 {
+		t.Fatalf("LastSeen = %d, want 3", m.LastSeen(1))
+	}
+
+	// Sever the transport (simulated network drop), publish while
+	// disconnected, and verify the redial resumes from LastSeen: the
+	// recovery costs exactly one Snapshot-flagged event, not a replay.
+	m.Session().Close()
+	publish()
+	h.Barrier()
+	ev, err := m.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Snapshot || ev.Version != 4 {
+		t.Fatalf("post-resume event = %+v; want snapshot v4", ev)
+	}
+	if resumes != 2 { // initial attach + one resume
+		t.Fatalf("OnResume fired %d times, want 2", resumes)
+	}
+
+	// The stream continues as deltas — no second snapshot.
+	publish()
+	h.Barrier()
+	ev, err = m.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Snapshot || ev.Version != 5 {
+		t.Fatalf("post-resume delta = %+v; want v5 delta", ev)
+	}
+}
+
+func TestLegacyClientHeartbeatTimeout(t *testing.T) {
+	// The legacy SSE path gets the same watchdog: a silent server ends
+	// the stream with ErrHeartbeatTimeout instead of hanging forever,
+	// and WatchReconnect treats it as reconnectable.
+	ts, h, publish := muxTestServer(t, time.Hour)
+	c := NewClient(ts.URL)
+	c.HeartbeatTimeout = 50 * time.Millisecond
+	ctx := context.Background()
+
+	st, err := c.Watch(ctx, "n1", "val", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if f, err := st.Next(); err != nil || !f.Snapshot {
+		t.Fatalf("snapshot = %+v, %v", f, err)
+	}
+	if _, err := st.Next(); err != ErrHeartbeatTimeout {
+		t.Fatalf("idle Next = %v, want ErrHeartbeatTimeout", err)
+	}
+
+	// Through WatchReconnect the timeout is just another redial: the
+	// stream heals and the next publication arrives.
+	rs := c.WatchReconnect(ctx, "n1", "val", 0, fastReconnect())
+	defer rs.Close()
+	if f, err := rs.Next(); err != nil || !f.Snapshot {
+		t.Fatalf("reconnect snapshot = %+v, %v", f, err)
+	}
+	publish()
+	h.Barrier()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f, err := rs.Next()
+		if err != nil {
+			t.Fatalf("reconnect stream died: %v", err)
+		}
+		if f.Version >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no post-timeout delivery")
+		}
+	}
+}
+
+func TestLegacySSEHeartbeatComments(t *testing.T) {
+	// Fast server heartbeats keep a watchdogged legacy stream alive
+	// while idle.
+	ts, _, _ := muxTestServer(t, 10*time.Millisecond)
+	c := NewClient(ts.URL)
+	c.HeartbeatTimeout = 150 * time.Millisecond
+	ctx := context.Background()
+	st, err := c.Watch(ctx, "n1", "val", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if f, err := st.Next(); err != nil || !f.Snapshot {
+		t.Fatalf("snapshot = %+v, %v", f, err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Next()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stream ended during heartbeat-covered idle: %v", err)
+	case <-time.After(400 * time.Millisecond):
+	}
+}

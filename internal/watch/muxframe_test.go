@@ -1,0 +1,146 @@
+package watch
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestMuxFrameRoundTrip(t *testing.T) {
+	evs := []MuxEvent{
+		{ID: 1, Version: 7, Numeric: true, Value: 3.25},
+		{ID: 2, Version: 9, Snapshot: true, Coalesced: true, Raw: "hello"},
+		{ID: 300, Version: 1 << 40, Err: "compute timeout"},
+		{ID: 4, Version: 2},
+		{ID: 5, Version: 3, Numeric: true, Value: -0.5, Err: "stale"},
+	}
+	b := AppendMuxEvents(nil, evs)
+	got, heartbeat, n, err := DecodeMuxFrame(b)
+	if err != nil || heartbeat || n != len(b) {
+		t.Fatalf("DecodeMuxFrame = hb=%v n=%d err=%v", heartbeat, n, err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, evs)
+	}
+
+	// The io.Reader path decodes the same bytes, one frame per call.
+	two := AppendMuxHeartbeat(b) // events frame then heartbeat frame
+	r := bytes.NewReader(two)
+	got2, hb2, err := ReadMuxFrame(r)
+	if err != nil || hb2 || !reflect.DeepEqual(got2, evs) {
+		t.Fatalf("ReadMuxFrame events = %+v hb=%v err=%v", got2, hb2, err)
+	}
+	if _, hb3, err := ReadMuxFrame(r); err != nil || !hb3 {
+		t.Fatalf("ReadMuxFrame heartbeat = hb=%v err=%v", hb3, err)
+	}
+	if _, _, err := ReadMuxFrame(r); err != io.EOF {
+		t.Fatalf("stream end = %v, want io.EOF", err)
+	}
+}
+
+func TestMuxFrameNonFiniteReroutes(t *testing.T) {
+	// Encoding is total: NaN/Inf numerics travel as Raw strings, like
+	// EncodeFrame, so the strict decoder never sees our own output as
+	// corrupt.
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := AppendMuxEvents(nil, []MuxEvent{{ID: 1, Version: 2, Numeric: true, Value: v}})
+		got, _, _, err := DecodeMuxFrame(b)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", v, err)
+		}
+		if got[0].Numeric || got[0].Raw == "" {
+			t.Fatalf("non-finite %v encoded as %+v; want raw", v, got[0])
+		}
+	}
+}
+
+func TestMuxFrameTornAndCorrupt(t *testing.T) {
+	b := AppendMuxEvents(nil, []MuxEvent{{ID: 1, Version: 2, Numeric: true, Value: 1}})
+
+	// Every strict prefix is torn: the byte-slice decoder refuses it
+	// and the reader path reports an unexpected EOF (or a clean EOF at
+	// offset 0 — a frame boundary).
+	for cut := 0; cut < len(b); cut++ {
+		if _, _, _, err := DecodeMuxFrame(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		_, _, err := ReadMuxFrame(bytes.NewReader(b[:cut]))
+		switch {
+		case cut == 0 && err != io.EOF:
+			t.Fatalf("empty stream = %v, want io.EOF", err)
+		case cut > 0 && err != io.ErrUnexpectedEOF && !errors.Is(err, ErrMuxCorrupt):
+			t.Fatalf("torn frame at %d = %v", cut, err)
+		}
+	}
+
+	// Any single bit flip must be rejected (CRC) or decode to a valid
+	// frame of different bytes — never panic. Flips confined to the
+	// payload must always be caught by the CRC.
+	for i := 8; i < len(b); i++ {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0x01
+		if _, _, _, err := DecodeMuxFrame(mut); !errors.Is(err, ErrMuxCorrupt) {
+			t.Fatalf("payload bit flip at %d slipped past the CRC: %v", i, err)
+		}
+	}
+
+	// Heartbeat with trailing garbage, empty event list, unknown type.
+	for _, payload := range [][]byte{
+		{muxPayloadHeartbeat, 0x00},
+		{muxPayloadEvents},
+		{'Z'},
+		{},
+	} {
+		if _, _, err := DecodeMuxPayload(payload); !errors.Is(err, ErrMuxCorrupt) {
+			t.Fatalf("payload %v accepted (err=%v)", payload, err)
+		}
+	}
+}
+
+// FuzzMuxFrame pins the mux codec's safety and canonicalization: no
+// panic on arbitrary input; any accepted frame re-encodes to a frame
+// that decodes to the same events (semantic fixed point) and whose
+// second re-encode is byte-identical (the encoder output is
+// canonical).
+func FuzzMuxFrame(f *testing.F) {
+	f.Add(AppendMuxEvents(nil, []MuxEvent{{ID: 1, Version: 2, Numeric: true, Value: 3.5}}))
+	f.Add(AppendMuxEvents(nil, []MuxEvent{
+		{ID: 9, Version: 1, Snapshot: true, Raw: "r"},
+		{ID: 10, Version: 77, Coalesced: true, Err: "e"},
+	}))
+	f.Add(AppendMuxHeartbeat(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, heartbeat, _, err := DecodeMuxFrame(data)
+		if err != nil {
+			return // rejected input: only obligation is not panicking
+		}
+		var enc1 []byte
+		if heartbeat {
+			enc1 = AppendMuxHeartbeat(nil)
+		} else {
+			enc1 = AppendMuxEvents(nil, evs)
+		}
+		evs2, hb2, n2, err := DecodeMuxFrame(enc1)
+		if err != nil || hb2 != heartbeat || n2 != len(enc1) {
+			t.Fatalf("re-decode failed: hb=%v n=%d err=%v", hb2, n2, err)
+		}
+		if !reflect.DeepEqual(evs2, evs) {
+			t.Fatalf("semantic fixed point violated:\n first %+v\nsecond %+v", evs, evs2)
+		}
+		var enc2 []byte
+		if hb2 {
+			enc2 = AppendMuxHeartbeat(nil)
+		} else {
+			enc2 = AppendMuxEvents(nil, evs2)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical encode unstable:\n first %x\nsecond %x", enc1, enc2)
+		}
+	})
+}

@@ -20,6 +20,11 @@ type ReconnectOptions struct {
 	// MaxAttempts bounds consecutive failures before Next gives up and
 	// returns the last error; 0 retries until the context is canceled.
 	MaxAttempts int
+	// HeartbeatTimeout arms the per-stream silent-peer watchdog (see
+	// Client.HeartbeatTimeout); 0 falls back to the client's setting.
+	// A tripped watchdog surfaces as ErrHeartbeatTimeout internally and
+	// is retried like any dropped connection.
+	HeartbeatTimeout time.Duration
 
 	// Test hooks: nil selects time-based sleep and math/rand jitter.
 	sleep  func(context.Context, time.Duration) error
@@ -59,6 +64,12 @@ type ReconnectStream struct {
 // kind) resuming after since. It never dials here — connection errors
 // surface through Next, which retries them under opt's backoff policy.
 func (c *Client) WatchReconnect(ctx context.Context, registry, kind string, since uint64, opt ReconnectOptions) *ReconnectStream {
+	return &ReconnectStream{c: c, ctx: ctx, registry: registry, kind: kind, opt: opt.withDefaults(), lastSeen: since}
+}
+
+// withDefaults fills the zero-value policy: 50ms initial backoff
+// doubling to 2s, time-based sleep, uniform [d/2, d] jitter.
+func (opt ReconnectOptions) withDefaults() ReconnectOptions {
 	if opt.InitialBackoff <= 0 {
 		opt.InitialBackoff = 50 * time.Millisecond
 	}
@@ -82,7 +93,7 @@ func (c *Client) WatchReconnect(ctx context.Context, registry, kind string, sinc
 			return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 		}
 	}
-	return &ReconnectStream{c: c, ctx: ctx, registry: registry, kind: kind, opt: opt, lastSeen: since}
+	return opt
 }
 
 // LastSeen reports the highest version Next has delivered — the resume
@@ -100,7 +111,11 @@ func (s *ReconnectStream) Next() (Frame, error) {
 			return Frame{}, err
 		}
 		if s.cur == nil {
-			st, err := s.c.Watch(s.ctx, s.registry, s.kind, s.lastSeen)
+			hbt := s.opt.HeartbeatTimeout
+			if hbt <= 0 {
+				hbt = s.c.HeartbeatTimeout
+			}
+			st, err := s.c.watch(s.ctx, s.registry, s.kind, s.lastSeen, hbt)
 			if err != nil {
 				var se *StatusError
 				if errors.As(err, &se) && se.Code >= 400 && se.Code < 500 {

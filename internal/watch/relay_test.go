@@ -1,0 +1,221 @@
+package watch
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// relayUpstream serves the test plane over HTTP as a relay's origin,
+// with the registry handle exposed so tests can pin items directly on
+// the hub (keeping version streams alive across relay generations).
+func relayUpstream(t *testing.T) (*httptest.Server, *Hub, *core.Registry, func()) {
+	t.Helper()
+	env, r, _, publish := testPlane(t)
+	h := NewHub(env)
+	t.Cleanup(h.Close)
+	srv := NewServer(h, env, r)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, h, r, publish
+}
+
+// waitVersion polls until the relay has mirrored want for the item.
+func waitVersion(t *testing.T, r *Relay, registry, kind string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, ok := r.ItemVersion(registry, core.Kind(kind)); ok && v >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("relay never mirrored %s/%s v%d", registry, kind, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRelayMirrorsUpstream(t *testing.T) {
+	ts, h, r, publish := relayUpstream(t)
+	pin, err := h.Watch(r, "val", Options{Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rel, err := NewRelay(ctx, ts.URL, RelayOptions{Reconnect: fastReconnect()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel.Close()
+
+	// The whole upstream inventory rides one session: src + val.
+	if got := rel.Watches(); got != 2 {
+		t.Fatalf("Watches() = %d, want 2", got)
+	}
+	items, err := rel.ListItems()
+	if err != nil || len(items["n1"]) != 2 {
+		t.Fatalf("ListItems = %v, %v", items, err)
+	}
+
+	// A local watcher catches up against the mirrored value.
+	waitVersion(t, rel, "n1", "val", 1)
+	w, err := rel.WatchItem("n1", "val", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ev, ok := w.Next()
+	if !ok || !ev.Snapshot || ev.Version != 1 {
+		t.Fatalf("catch-up = %+v, %v; want snapshot v1", ev, ok)
+	}
+	if ev.Registry != "n1" || ev.Kind != "val" {
+		t.Fatalf("catch-up addressed %s/%s", ev.Registry, ev.Kind)
+	}
+
+	// An upstream publication arrives as a plain delta — never
+	// Snapshot-flagged mid-stream, whatever the upstream frame said.
+	publish()
+	h.Barrier()
+	waitVersion(t, rel, "n1", "val", 2)
+	ev, ok = w.Next()
+	if !ok || ev.Snapshot || ev.Version != 2 {
+		t.Fatalf("delta = %+v, %v; want v2 delta", ev, ok)
+	}
+	if f, err := core.Float(ev.Value); err != nil || f != 1 {
+		t.Fatalf("delta value = %v, %v; want 1", ev.Value, err)
+	}
+	if rel.SourceStats().RelayEvents.Load() < 2 {
+		t.Fatalf("RelayEvents = %d, want >= 2", rel.SourceStats().RelayEvents.Load())
+	}
+}
+
+func TestRelayWatchErrors(t *testing.T) {
+	ts, _, _, _ := relayUpstream(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rel, err := NewRelay(ctx, ts.URL, RelayOptions{Reconnect: fastReconnect()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel.Close()
+
+	if _, err := rel.WatchItem("nope", "val", Options{}); err == nil {
+		t.Fatal("unknown registry accepted")
+	}
+	if _, err := rel.WatchItem("n1", "bogus", Options{}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := rel.WatchItem("n1", "", Options{}); err == nil {
+		t.Fatal("missing kind accepted")
+	}
+}
+
+// TestRelayKillResume kills a relay mid-stream and proves recovery
+// through a replacement costs the downstream exactly one
+// Snapshot-flagged event per watch — never a replay, never a gap.
+func TestRelayKillResume(t *testing.T) {
+	ts, h, r, publish := relayUpstream(t)
+	// Pin the item upstream: versions are per-inclusion, and the dead
+	// relay's teardown must not release the item (restarting its
+	// version stream) before the replacement attaches.
+	pin, err := h.Watch(r, "val", Options{Buffer: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	relayA, err := NewRelay(ctx, ts.URL, RelayOptions{Reconnect: fastReconnect()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hsA := &http.Server{Handler: NewSourceServer(relayA).Handler()}
+	go hsA.Serve(ln)
+
+	// Downstream: a reconnecting mux client on the relay tier.
+	m := NewClient("http://"+addr).MuxReconnect(ctx, fastReconnect())
+	defer m.Close()
+	if err := m.Add(1, MuxWatch{Registry: "n1", Kind: "val"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Catch up through the relay to v3.
+	publish()
+	publish()
+	h.Barrier()
+	snapshots := 0
+	var last uint64
+	for last < 3 {
+		ev, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Snapshot {
+			snapshots++
+		}
+		last = ev.Version
+	}
+	if snapshots > 1 {
+		t.Fatalf("%d snapshots during initial catch-up, want at most 1", snapshots)
+	}
+
+	// Kill the relay mid-stream and publish while the tier is down.
+	hsA.Close()
+	relayA.Close()
+	publish()
+	h.Barrier()
+
+	// Replacement relay: wait for it to mirror v4 before re-listening
+	// on the same address, so the downstream redial's catch-up is
+	// deterministic.
+	relayB, err := NewRelay(ctx, ts.URL, RelayOptions{Reconnect: fastReconnect()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relayB.Close()
+	waitVersion(t, relayB, "n1", "val", 4)
+	lnB, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsB := &http.Server{Handler: NewSourceServer(relayB).Handler()}
+	go hsB.Serve(lnB)
+	defer hsB.Close()
+
+	// Recovery: exactly one Snapshot (the v4 catch-up), then deltas.
+	ev, err := m.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Snapshot || ev.Version != 4 {
+		t.Fatalf("post-kill event = %+v; want snapshot v4", ev)
+	}
+	publish()
+	h.Barrier()
+	waitVersion(t, relayB, "n1", "val", 5)
+	ev, err = m.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Snapshot || ev.Version != 5 {
+		t.Fatalf("post-kill delta = %+v; want v5 delta", ev)
+	}
+	if relayB.Resumes() != 0 {
+		t.Fatalf("fresh relay reports %d resumes", relayB.Resumes())
+	}
+}

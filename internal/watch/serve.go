@@ -1,92 +1,148 @@
 package watch
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 )
 
-// Server exposes a Hub over HTTP with server-sent events — the
-// stdlib-only wire surface behind cmd/mdserve. Endpoints:
+// DefaultHeartbeat is the interval between server keepalives on an
+// otherwise idle stream: a comment line on legacy SSE, an 'H' frame on
+// mux streams. Clients use its absence to detect a silently dead peer.
+const DefaultHeartbeat = 15 * time.Second
+
+// muxSessionTTL bounds how long a created-but-unclaimed mux session
+// may wait for its stream before the next create sweeps it.
+const muxSessionTTL = time.Minute
+
+// maxMuxBatch caps the events packed into one mux frame; a burst
+// larger than this simply spans frames, all written before one flush.
+const maxMuxBatch = 1024
+
+// Server exposes a watch Source over HTTP — the stdlib-only wire
+// surface behind cmd/mdserve, serving either a primary hub (HubView)
+// or a Relay. Endpoints:
 //
 //	GET /watch?registry=ID&kind=K[&since=N][&buffer=N]
-//	    text/event-stream of JSON frames: one snapshot (when behind),
-//	    then deltas. The stream lives until the client disconnects.
+//	    Legacy per-item stream: text/event-stream of JSON frames, one
+//	    snapshot (when behind) then deltas, with ": hb" comment
+//	    keepalives. One connection per watched item.
+//	POST /mux
+//	    Create a mux session; returns {"session": id}. The session
+//	    holds any number of watches over one downstream connection.
+//	POST /mux/watch?session=ID
+//	    Batched control: {"add": [{id, registry, kind, since}...],
+//	    "remove": [id...]}. Per-id failures come back in "errors";
+//	    unknown sessions answer 410 Gone (redial signal).
+//	GET /mux/stream?session=ID
+//	    The session's single downstream: CRC-framed binary batches
+//	    ('E' frames carrying many events, 'H' heartbeats). Closing the
+//	    stream destroys the session.
 //	GET /items
 //	    JSON inventory: each registry with its defined item kinds.
 //	GET /stats
-//	    JSON core.Snapshot of the environment's self-metrics.
+//	    JSON core.Snapshot of the source's self-metrics.
 type Server struct {
-	hub  *Hub
-	env  *core.Env
-	mu   map[string]*core.Registry
-	keys []string
+	src       Source
+	heartbeat time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*muxSessionState
+}
+
+// muxSessionState is one server-side mux session between creation and
+// stream teardown.
+type muxSessionState struct {
+	id      string
+	sess    *Session
+	created time.Time
+	claimed bool
 }
 
 // NewServer creates a server over hub exposing the given registries by
-// their IDs.
+// their IDs — the primary-server constructor.
 func NewServer(hub *Hub, env *core.Env, regs ...*core.Registry) *Server {
-	s := &Server{hub: hub, env: env, mu: make(map[string]*core.Registry)}
-	for _, r := range regs {
-		if _, dup := s.mu[r.ID()]; !dup {
-			s.keys = append(s.keys, r.ID())
-		}
-		s.mu[r.ID()] = r
+	return NewSourceServer(NewHubView(hub, env, regs...))
+}
+
+// NewSourceServer creates a server over any Source (a HubView or a
+// Relay re-serving an upstream).
+func NewSourceServer(src Source) *Server {
+	return &Server{src: src, heartbeat: DefaultHeartbeat, sessions: make(map[string]*muxSessionState)}
+}
+
+// SetHeartbeat overrides the keepalive interval (tests use millisecond
+// values). Call before serving.
+func (s *Server) SetHeartbeat(d time.Duration) {
+	if d > 0 {
+		s.heartbeat = d
 	}
-	sort.Strings(s.keys)
-	return s
 }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/watch", s.handleWatch)
+	mux.HandleFunc("/mux", s.handleMuxCreate)
+	mux.HandleFunc("/mux/watch", s.handleMuxControl)
+	mux.HandleFunc("/mux/stream", s.handleMuxStream)
 	mux.HandleFunc("/items", s.handleItems)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
 
-func (s *Server) handleWatch(w http.ResponseWriter, req *http.Request) {
-	q := req.URL.Query()
-	reg := s.mu[q.Get("registry")]
-	if reg == nil {
-		http.Error(w, fmt.Sprintf("unknown registry %q", q.Get("registry")), http.StatusNotFound)
-		return
-	}
-	kind := core.Kind(q.Get("kind"))
-	if kind == "" {
-		http.Error(w, "missing kind", http.StatusBadRequest)
-		return
-	}
+// parseWatchOptions extracts since/buffer from a query.
+func parseWatchOptions(q map[string][]string) (Options, error) {
 	var opt Options
-	if v := q.Get("since"); v != "" {
+	get := func(k string) string {
+		if vs := q[k]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	if v := get("since"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			http.Error(w, "bad since", http.StatusBadRequest)
-			return
+			return opt, fmt.Errorf("bad since")
 		}
 		opt.Since = n
 	}
-	if v := q.Get("buffer"); v != "" {
+	if v := get("buffer"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			http.Error(w, "bad buffer", http.StatusBadRequest)
-			return
+			return opt, fmt.Errorf("bad buffer")
 		}
 		opt.Buffer = n
+	}
+	return opt, nil
+}
+
+func (s *Server) handleWatch(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	opt, err := parseWatchOptions(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	wt, err := s.hub.Watch(reg, kind, opt)
+	wt, err := s.src.WatchItem(q.Get("registry"), core.Kind(q.Get("kind")), opt)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		code := http.StatusNotFound
+		if q.Get("kind") == "" {
+			code = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), code)
 		return
 	}
 	defer wt.Close()
@@ -98,8 +154,14 @@ func (s *Server) handleWatch(w http.ResponseWriter, req *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
+	stats := s.src.SourceStats()
+	hb := time.NewTicker(s.heartbeat)
+	defer hb.Stop()
 	ctx := req.Context()
 	for {
+		// Drain every pending event before the single Flush below: a
+		// burst costs one flush (and at most one packet per writev),
+		// not one per event.
 		for {
 			ev, ok := wt.Poll()
 			if !ok {
@@ -112,6 +174,14 @@ func (s *Server) handleWatch(w http.ResponseWriter, req *http.Request) {
 		fl.Flush()
 		select {
 		case <-wt.Signal():
+		case <-hb.C:
+			// SSE comment line: ignored by frame parsing, resets the
+			// client's heartbeat watchdog.
+			if _, err := fmt.Fprintf(w, ": hb\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			stats.MuxHeartbeats.Add(1)
 		case <-wt.Done():
 			return
 		case <-ctx.Done():
@@ -120,23 +190,186 @@ func (s *Server) handleWatch(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
-// itemsReply is the /items payload: registry ID to its defined kinds.
-type itemsReply map[string][]string
+// handleMuxCreate allocates a session and sweeps stale unclaimed ones.
+func (s *Server) handleMuxCreate(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var idb [16]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	id := hex.EncodeToString(idb[:])
+	st := &muxSessionState{id: id, sess: NewSession(s.src), created: time.Now()}
+
+	stats := s.src.SourceStats()
+	var stale []*muxSessionState
+	s.mu.Lock()
+	for sid, old := range s.sessions {
+		if !old.claimed && time.Since(old.created) > muxSessionTTL {
+			delete(s.sessions, sid)
+			stale = append(stale, old)
+		}
+	}
+	s.sessions[id] = st
+	s.mu.Unlock()
+	for _, old := range stale {
+		old.sess.Close()
+		stats.MuxSessions.Add(-1)
+	}
+	stats.MuxSessions.Add(1)
+	writeJSON(w, map[string]string{"session": id})
+}
+
+// lookupSession resolves the session query parameter; a miss has
+// already answered the request (410 Gone — the client's session died
+// with its stream, redial from scratch).
+func (s *Server) lookupSession(w http.ResponseWriter, req *http.Request) *muxSessionState {
+	id := req.URL.Query().Get("session")
+	s.mu.Lock()
+	st := s.sessions[id]
+	s.mu.Unlock()
+	if st == nil {
+		http.Error(w, "unknown session", http.StatusGone)
+		return nil
+	}
+	return st
+}
+
+// handleMuxControl applies one batched add/remove request to a
+// session. Registration errors are per-id, not request-fatal: a
+// relay re-adding 10k watches should not lose 9999 good ones to one
+// deleted item.
+func (s *Server) handleMuxControl(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	st := s.lookupSession(w, req)
+	if st == nil {
+		return
+	}
+	var ctl muxControl
+	if err := json.NewDecoder(req.Body).Decode(&ctl); err != nil {
+		http.Error(w, "bad control body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res := muxControlResult{}
+	for _, a := range ctl.Add {
+		err := st.sess.Add(a.ID, a.Registry, a.Kind, Options{Since: a.Since})
+		if err != nil {
+			if res.Errors == nil {
+				res.Errors = make(map[uint64]string)
+			}
+			res.Errors[a.ID] = err.Error()
+		}
+	}
+	for _, id := range ctl.Remove {
+		st.sess.Remove(id)
+	}
+	writeJSON(w, res)
+}
+
+// handleMuxStream attaches the session's one downstream connection and
+// pumps batched binary frames until the client goes away; teardown
+// destroys the session.
+func (s *Server) handleMuxStream(w http.ResponseWriter, req *http.Request) {
+	st := s.lookupSession(w, req)
+	if st == nil {
+		return
+	}
+	s.mu.Lock()
+	if st.claimed {
+		s.mu.Unlock()
+		http.Error(w, "stream already attached", http.StatusConflict)
+		return
+	}
+	st.claimed = true
+	s.mu.Unlock()
+
+	stats := s.src.SourceStats()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, st.id)
+		s.mu.Unlock()
+		st.sess.Close()
+		stats.MuxSessions.Add(-1)
+	}()
+
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	hb := time.NewTicker(s.heartbeat)
+	defer hb.Stop()
+	ctx := req.Context()
+	var buf []byte
+	evs := make([]MuxEvent, 0, maxMuxBatch)
+	for {
+		// Pack everything pending into full frames, then flush once: a
+		// 10k-event burst amortizes to maxMuxBatch events per write and
+		// a single flush.
+		for {
+			evs = evs[:0]
+			for len(evs) < maxMuxBatch {
+				se, ok := st.sess.Poll()
+				if !ok {
+					break
+				}
+				evs = append(evs, MuxEventOf(se.ID, se.Event))
+			}
+			if len(evs) == 0 {
+				break
+			}
+			buf = AppendMuxEvents(buf[:0], evs)
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			stats.MuxFrames.Add(1)
+			stats.MuxEvents.Add(int64(len(evs)))
+		}
+		fl.Flush()
+		select {
+		case <-st.sess.Signal():
+		case <-hb.C:
+			buf = AppendMuxHeartbeat(buf[:0])
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			fl.Flush()
+			stats.MuxHeartbeats.Add(1)
+		case <-st.sess.Done():
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+}
 
 func (s *Server) handleItems(w http.ResponseWriter, _ *http.Request) {
-	reply := make(itemsReply, len(s.keys))
-	for _, id := range s.keys {
-		var kinds []string
-		for _, k := range s.mu[id].Available() {
-			kinds = append(kinds, string(k))
-		}
-		reply[id] = kinds
+	items, err := s.src.ListItems()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
-	writeJSON(w, reply)
+	if items == nil {
+		items = map[string][]string{}
+	}
+	writeJSON(w, items)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.env.Stats().Snapshot())
+	writeJSON(w, s.src.SourceStats().Snapshot())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

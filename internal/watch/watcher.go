@@ -27,16 +27,25 @@ type Event struct {
 	Coalesced bool
 }
 
-// Watcher is one subscriber's bounded delivery queue. The hub's
-// sweeper writes events into the ring; the consumer drains them with
-// Next or Poll. A full ring overwrites its newest slot with the latest
-// event, so a slow consumer always converges to the current value
-// without ever blocking a publisher.
+// Watcher is one subscriber's bounded delivery queue. Its host (the
+// epoch-diff Hub, or a Relay re-serving an upstream server) writes
+// events into the ring; the consumer drains them with Next or Poll. A
+// full ring overwrites its newest slot with the latest event, so a
+// slow consumer always converges to the current value without ever
+// blocking a publisher.
 type Watcher struct {
-	hub *Hub
-	p   *point
-	// shardIdx is the watcher's wait-list shard, assigned round-robin
-	// at registration for an even spread.
+	// stats is the host's counter sink (ShedNotifies on overflow).
+	stats *core.Stats
+	// detach unregisters the watcher from its host; set by the host at
+	// registration and called once from Close.
+	detach func(*Watcher)
+	// notify, when set (Options.Notify), is invoked after every ring
+	// write in addition to the signal channel — the aggregation hook a
+	// mux Session uses to fold many watchers into one wakeup.
+	notify func()
+	// shardIdx is the watcher's wait-list shard in a hub point,
+	// assigned round-robin at registration for an even spread (unused
+	// by relay hosts).
 	shardIdx int
 
 	mu       sync.Mutex
@@ -52,10 +61,27 @@ type Watcher struct {
 	done   chan struct{}
 }
 
+// newWatcher builds an unregistered watcher; the host fills detach and
+// delivers into it once it is on a wait-list.
+func newWatcher(stats *core.Stats, buffer int, since uint64, notify func(), detach func(*Watcher)) *Watcher {
+	if buffer <= 0 {
+		buffer = DefaultBuffer
+	}
+	return &Watcher{
+		stats:    stats,
+		detach:   detach,
+		notify:   notify,
+		ring:     make([]Event, buffer),
+		lastSent: since,
+		signal:   make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+}
+
 func (w *Watcher) shard() int { return w.shardIdx }
 
 // deliver enqueues ev unless the watcher already saw that version. It
-// is called by the sweeper (and by catch-up under the shard lock) and
+// is called by the host (and by catch-up under the host's lock) and
 // never blocks: a full ring coalesces to the latest event.
 func (w *Watcher) deliver(ev Event) {
 	w.mu.Lock()
@@ -83,11 +109,14 @@ func (w *Watcher) deliver(ev Event) {
 	}
 	w.mu.Unlock()
 	if shed {
-		w.hub.stats.ShedNotifies.Add(1)
+		w.stats.ShedNotifies.Add(1)
 	}
 	select {
 	case w.signal <- struct{}{}:
 	default:
+	}
+	if w.notify != nil {
+		w.notify()
 	}
 }
 
@@ -103,6 +132,13 @@ func (w *Watcher) Poll() (Event, bool) {
 	w.head = (w.head + 1) % len(w.ring)
 	w.n--
 	return ev, true
+}
+
+// Pending returns the number of queued events.
+func (w *Watcher) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
 }
 
 // Next blocks until an event is queued and returns it; ok is false
@@ -145,7 +181,7 @@ func (w *Watcher) LastSent() uint64 {
 // Close unregisters the watcher. Queued events remain drainable; Next
 // returns ok == false once the ring is empty.
 func (w *Watcher) Close() {
-	w.hub.remove(w)
+	w.detach(w)
 	w.closeRing()
 }
 

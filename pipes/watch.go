@@ -1,6 +1,8 @@
 package pipes
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/watch"
 )
@@ -18,10 +20,30 @@ type (
 	WatchFrame = watch.Frame
 	// WatchHub is the epoch-diff fan-out hub behind Stream.Watch.
 	WatchHub = watch.Hub
-	// WatchServer exposes a hub over HTTP/SSE (see cmd/mdserve).
+	// WatchServer exposes a hub or relay over HTTP (see cmd/mdserve).
 	WatchServer = watch.Server
-	// WatchClient consumes a WatchServer's SSE streams.
+	// WatchClient consumes a WatchServer's streams (SSE or mux).
 	WatchClient = watch.Client
+	// WatchSession is an in-process mux session: many watches, one
+	// merged queue and wakeup (see System.WatchMux).
+	WatchSession = watch.Session
+	// WatchSessionEvent is one event from a WatchSession, tagged with
+	// its watch id.
+	WatchSessionEvent = watch.SessionEvent
+	// MuxWatch names one (registry, kind, since) watch in a mux
+	// session.
+	MuxWatch = watch.MuxWatch
+	// MuxSession is one client-side mux transport session.
+	MuxSession = watch.MuxSession
+	// ReconnectMux is a mux session that redials with per-watch resume.
+	ReconnectMux = watch.ReconnectMux
+	// WatchRelay mirrors an upstream server through one mux session and
+	// re-serves it locally (see NewRelay).
+	WatchRelay = watch.Relay
+	// WatchRelayOptions tune a relay's upstream leg.
+	WatchRelayOptions = watch.RelayOptions
+	// WatchReconnectOptions tune client reconnect backoff.
+	WatchReconnectOptions = watch.ReconnectOptions
 )
 
 // MetaValue is a metadata item's value as carried in a WatchEvent.
@@ -54,12 +76,39 @@ func (st *Stream) Watch(kind Kind, opt WatchOptions) (*Watcher, error) {
 	return st.sys.WatchHub().Watch(st.node.Registry(), kind, opt)
 }
 
-// NewWatchServer builds an HTTP/SSE server over the system's hub
-// exposing every node's registry by node name.
+// NewWatchServer builds an HTTP server over the system's hub exposing
+// every node's registry by node name, serving both the legacy per-item
+// SSE stream and the mux session endpoints.
 func (s *System) NewWatchServer() *WatchServer {
 	regs := make([]*Registry, 0)
 	for _, n := range s.graph.Nodes() {
 		regs = append(regs, n.Registry())
 	}
 	return watch.NewServer(s.WatchHub(), s.env, regs...)
+}
+
+// WatchMux creates an in-process mux session over the system's hub:
+// add any number of (node, kind) watches by id and drain one merged
+// queue with one wakeup channel, instead of one goroutine per watcher.
+// Close the session to release all its watches.
+func (s *System) WatchMux() *WatchSession {
+	regs := make([]*Registry, 0)
+	for _, n := range s.graph.Nodes() {
+		regs = append(regs, n.Registry())
+	}
+	return watch.NewSession(watch.NewHubView(s.WatchHub(), s.env, regs...))
+}
+
+// NewRelay connects to an upstream WatchServer and mirrors its whole
+// item inventory through exactly one mux session, re-serving it
+// locally with the same delivery contract. Serve it with
+// NewRelayServer; ctx bounds the upstream session's lifetime.
+func NewRelay(ctx context.Context, upstream string, opt WatchRelayOptions) (*WatchRelay, error) {
+	return watch.NewRelay(ctx, upstream, opt)
+}
+
+// NewRelayServer builds an HTTP server re-serving a relay's mirrored
+// items — the downstream face of a fan-out tier.
+func NewRelayServer(r *WatchRelay) *WatchServer {
+	return watch.NewSourceServer(r)
 }

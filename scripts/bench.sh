@@ -15,13 +15,15 @@
 # delta-propagation numbers live in BENCH_PR6.json; the adaptive-
 # maintenance (live migration) numbers live in BENCH_PR7.json; the
 # watch-hub fan-out numbers live in BENCH_PR8.json; the durable-restart
-# (checkpoint + WAL recovery) numbers live in BENCH_PR9.json.
+# (checkpoint + WAL recovery) numbers live in BENCH_PR9.json; the mux
+# watch transport (one connection, batched frames) numbers live in
+# BENCH_PR10.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-bench.txt}"
 count="${2:-4}"
 
-benches='BenchmarkValueReadParallel|BenchmarkTriggerPropagation|BenchmarkSubscribeChurnParallel|BenchmarkE4FreshnessOverhead|BenchmarkE5TriggeredVsPeriodic|BenchmarkE9WorkerPool|BenchmarkE19BatchedTicks|BenchmarkHealthyOverhead|BenchmarkE20MemoizedReads|BenchmarkE21DeltaPropagation|BenchmarkE22AdaptiveMaintenance|BenchmarkE23WatchFanout|BenchmarkE23PublishHotPath|BenchmarkE24Recovery'
+benches='BenchmarkValueReadParallel|BenchmarkTriggerPropagation|BenchmarkSubscribeChurnParallel|BenchmarkE4FreshnessOverhead|BenchmarkE5TriggeredVsPeriodic|BenchmarkE9WorkerPool|BenchmarkE19BatchedTicks|BenchmarkHealthyOverhead|BenchmarkE20MemoizedReads|BenchmarkE21DeltaPropagation|BenchmarkE22AdaptiveMaintenance|BenchmarkE23WatchFanout|BenchmarkE23PublishHotPath|BenchmarkE24Recovery|BenchmarkE25MuxFanout'
 
 go test -run '^$' -bench "^(${benches})$" -benchmem -count "${count}" . | tee "${out}"
